@@ -1,0 +1,424 @@
+// Benchmarks regenerating every table and figure of the TISCC paper (see
+// DESIGN.md's per-experiment index) plus micro-benchmarks of the compiler
+// and verification simulator. Run with:
+//
+//	go test -bench=. -benchmem
+package tiscc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tiscc"
+	"tiscc/internal/core"
+	"tiscc/internal/hardware"
+	"tiscc/internal/instr"
+	"tiscc/internal/orqcs"
+	"tiscc/internal/pauli"
+	"tiscc/internal/resource"
+	"tiscc/internal/verify"
+)
+
+var (
+	tileA = instr.TileCoord{R: 0, C: 0}
+	tileB = instr.TileCoord{R: 1, C: 0}
+	tileR = instr.TileCoord{R: 0, C: 1}
+)
+
+func mustLayout(b *testing.B, rows, cols, d int) *instr.Layout {
+	b.Helper()
+	l, err := instr.NewLayout(rows, cols, d, d, d, hardware.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+// BenchmarkTable1InstructionSet compiles the whole Table 1 instruction set
+// (d = 3) per iteration.
+func BenchmarkTable1InstructionSet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l := mustLayout(b, 2, 2, 3)
+		if _, err := l.PrepareZ(tileA); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.PrepareX(tileB); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.Inject(tileR, core.InjectY); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.Pauli(tileA, core.LogicalX); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.Hadamard(tileR); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.Idle(tileA); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.MeasureXX(tileA, tileB); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.Measure(tileA, pauli.Z); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(l.Circuit().Events)), "events")
+	}
+}
+
+// BenchmarkTable2Primitives exercises the patch-level primitives of Table 2.
+func BenchmarkTable2Primitives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := core.NewCompiler(10, 7, hardware.Default())
+		lq, err := c.NewLogicalQubit(3, 3, core.Cell{R: 1, C: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lq2, err := c.NewLogicalQubit(3, 3, core.Cell{R: 5, C: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lq.TransversalPrepareZ()
+		lq2.TransversalPrepareZ()
+		lq.ApplyPauli(core.LogicalX)
+		lq.TransversalHadamard()
+		lq.TransversalHadamard()
+		if _, err := lq.Idle(1); err != nil {
+			b.Fatal(err)
+		}
+		m, err := core.Merge(lq, lq2, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Split(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Derived compiles the derived instruction set.
+func BenchmarkTable3Derived(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l := mustLayout(b, 2, 1, 3)
+		if _, err := l.BellPrep(tileA, tileB); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.BellMeasure(tileA, tileB); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.PrepareZ(tileA); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.ExtendSplit(tileA, tileB); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5GateSet compiles one round of error correction and tallies
+// the native gate usage of the Table 5 gate set.
+func BenchmarkTable5GateSet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := core.NewCompiler(5, 6, hardware.Default())
+		lq, err := c.NewLogicalQubit(3, 3, core.Cell{R: 1, C: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lq.TransversalPrepareZ()
+		if _, err := lq.Idle(1); err != nil {
+			b.Fatal(err)
+		}
+		counts := c.Build().GateCounts()
+		b.ReportMetric(float64(counts["ZZ"]), "ZZ-gates")
+	}
+}
+
+// BenchmarkFigure1PatchRender renders the Fig 1 patch-over-tile picture.
+func BenchmarkFigure1PatchRender(b *testing.B) {
+	c := core.NewCompiler(7, 8, hardware.Default())
+	lq, err := c.NewLogicalQubit(5, 5, core.Cell{R: 1, C: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(lq.Render()) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+// BenchmarkFigure2Arrangements builds and renders all four canonical
+// arrangements.
+func BenchmarkFigure2Arrangements(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, arr := range []core.Arrangement{core.Standard, core.Rotated, core.Flipped, core.RotatedFlipped} {
+			c := core.NewCompiler(7, 8, hardware.Default())
+			lq, err := c.NewLogicalQubit(5, 5, core.Cell{R: 1, C: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			lq.SetArrangement(arr)
+			if err := lq.CheckCode(); err != nil {
+				b.Fatal(err)
+			}
+			_ = lq.RenderStabilizerMap()
+		}
+	}
+}
+
+// BenchmarkFigure3FlipPatch compiles the four-corner-movement Flip Patch.
+func BenchmarkFigure3FlipPatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := core.NewCompiler(5, 6, hardware.Default())
+		lq, err := c.NewLogicalQubit(3, 3, core.Cell{R: 1, C: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lq.TransversalPrepareZ()
+		if err := lq.FlipPatch(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4MoveRightSwapLeft compiles the translation pair.
+func BenchmarkFigure4MoveRightSwapLeft(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := core.NewCompiler(7, 10, hardware.Default())
+		lq, err := c.NewLogicalQubit(3, 3, core.Cell{R: 1, C: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lq.TransversalPrepareZ()
+		if err := lq.MoveRight(1); err != nil {
+			b.Fatal(err)
+		}
+		if err := lq.SwapLeft(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6Patterns generates the Z/N syndrome movement schedules.
+func BenchmarkFigure6Patterns(b *testing.B) {
+	c := core.NewCompiler(5, 6, hardware.Default())
+	lq, err := c.NewLogicalQubit(3, 3, core.Cell{R: 1, C: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range lq.Plaquettes() {
+			_ = lq.RenderSchedule(p)
+		}
+	}
+}
+
+// BenchmarkResourceSweep regenerates the per-distance resource estimates
+// (the paper's Sec 3.4 output).
+func BenchmarkResourceSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, d := range []int{3, 5, 7} {
+			l, err := instr.NewLayout(1, 1, d, d, d, hardware.Default())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := l.PrepareZ(tileA); err != nil {
+				b.Fatal(err)
+			}
+			est := resource.FromCircuit(l.Circuit(), hardware.Default())
+			if est.Zones == 0 {
+				b.Fatal("empty estimate")
+			}
+		}
+	}
+}
+
+// BenchmarkVerifyStatePrep runs the Sec 4.2 state-preparation tomography.
+func BenchmarkVerifyStatePrep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bl, err := verify.StatePrep(3, 3, core.Standard, verify.PrepY, true, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bl[1] != 1 {
+			b.Fatal("wrong state")
+		}
+	}
+}
+
+// BenchmarkVerifyOneTile runs the Sec 4.3 process tomography of Idle.
+func BenchmarkVerifyOneTile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ch, err := verify.OneTileChannel(3, 3, core.Standard, verify.OpIdle, 1, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ch.MaxAbsDiff(verify.OpIdle.Ideal()) != 0 {
+			b.Fatal("channel mismatch")
+		}
+	}
+}
+
+// BenchmarkVerifyTwoTile runs the Sec 4.4 Measure XX branch verification.
+func BenchmarkVerifyTwoTile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := verify.MeasureJointBranch(3, true, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVerifyInjectT runs a reduced-shot statistical T verification.
+func BenchmarkVerifyInjectT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := verify.InjectTBloch(2, 2, 500, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVerifyLargeIdle exercises quiescence at a larger distance
+// (the paper's d=30-style stability check, scaled for benchmark budget).
+func BenchmarkVerifyLargeIdle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := verify.Quiescence(9, 2, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileIdle measures raw compilation throughput per distance.
+func BenchmarkCompileIdle(b *testing.B) {
+	for _, d := range []int{3, 5, 7, 9} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := core.NewCompiler(d+2, d+3, hardware.Default())
+				lq, err := c.NewLogicalQubit(d, d, core.Cell{R: 1, C: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				lq.TransversalPrepareZ()
+				if _, err := lq.Idle(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulateIdle measures simulator throughput on a fixed circuit.
+func BenchmarkSimulateIdle(b *testing.B) {
+	for _, d := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			c := core.NewCompiler(d+2, d+3, hardware.Default())
+			lq, err := c.NewLogicalQubit(d, d, core.Cell{R: 1, C: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			lq.TransversalPrepareZ()
+			if _, err := lq.Idle(1); err != nil {
+				b.Fatal(err)
+			}
+			circ := c.Build()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := orqcs.RunOnce(circ, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPublicAPI exercises the facade end to end.
+func BenchmarkPublicAPI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l, err := tiscc.NewLayout(1, 1, 3, 3, 3, tiscc.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.PrepareZ(tiscc.TileCoord{R: 0, C: 0}); err != nil {
+			b.Fatal(err)
+		}
+		est := tiscc.EstimateCircuit(l.Circuit(), tiscc.DefaultParams())
+		if est.Time <= 0 {
+			b.Fatal("bad estimate")
+		}
+	}
+}
+
+// BenchmarkBellChain compiles the Sec 2.1 two-step long-range entanglement
+// protocol over a four-tile chain.
+func BenchmarkBellChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l := mustLayout(b, 4, 1, 2)
+		if _, err := l.BellChain(instr.TileCoord{R: 0, C: 0}, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks: sensitivity of the round time to the hardware
+// model's design-critical parameters (DESIGN.md experiment R1 follow-ups).
+
+// ablationIdle compiles a d=3 idle round under modified parameters and
+// reports the makespan in milliseconds.
+func ablationIdle(b *testing.B, mutate func(*hardware.Params)) {
+	for i := 0; i < b.N; i++ {
+		p := hardware.Default()
+		if mutate != nil {
+			mutate(&p)
+		}
+		c := core.NewCompiler(5, 6, p)
+		lq, err := c.NewLogicalQubit(3, 3, core.Cell{R: 1, C: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lq.TransversalPrepareZ()
+		if _, err := lq.Idle(1); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(c.Build().Duration())/1e6, "round-ms")
+	}
+}
+
+// BenchmarkAblationBaseline is the Table 5 reference round time.
+func BenchmarkAblationBaseline(b *testing.B) { ablationIdle(b, nil) }
+
+// BenchmarkAblationFastZZ shows the round time with a 10× faster two-qubit
+// gate (i.e. without the implicit 2 ms split/merge/cool): movement and
+// readout stop being negligible, quantifying the paper's Sec 3.2 point.
+func BenchmarkAblationFastZZ(b *testing.B) {
+	ablationIdle(b, func(p *hardware.Params) { p.ZZ = 200_000 })
+}
+
+// BenchmarkAblationSlowJunction shows the round time when junction
+// traversal slows 4× (1 m/s): junction conflicts between adjacent
+// plaquettes become the bottleneck.
+func BenchmarkAblationSlowJunction(b *testing.B) {
+	ablationIdle(b, func(p *hardware.Params) { p.Junction = 420_000 })
+}
+
+// BenchmarkAblationFastTransport shows the (small) effect of 10× faster
+// straight transport.
+func BenchmarkAblationFastTransport(b *testing.B) {
+	ablationIdle(b, func(p *hardware.Params) { p.Move = 525 })
+}
+
+// BenchmarkHadamardRotate compiles the full logical Hadamard with patch
+// rotation (transversal H + Flip Patch + Move Right + Swap Left), the
+// composition of enabling primitives the paper's Sec 2.5 anticipates.
+func BenchmarkHadamardRotate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l := mustLayout(b, 1, 1, 3)
+		if _, err := l.PrepareZ(instr.TileCoord{R: 0, C: 0}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.HadamardRotate(instr.TileCoord{R: 0, C: 0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,472 @@
+// Command tiscc-bench regenerates the tables and figures of the TISCC
+// paper from this implementation: the instruction-set tables (1, 2, 3),
+// the native gate-set table (5), the patch/arrangement/pattern figures
+// (1, 2, 3, 4, 6), per-instruction hardware resource estimates across code
+// distances (the paper's resource-estimator output, Sec 3.4), and the
+// verification matrix of Sec 4.
+//
+// Usage:
+//
+//	tiscc-bench -all
+//	tiscc-bench -table 1 | -table 2 | -table 3 | -table 5
+//	tiscc-bench -figure 1 | 2 | 3 | 4 | 6
+//	tiscc-bench -resources [-dlist 3,5,7,9,11,13]
+//	tiscc-bench -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tiscc/internal/circuit"
+	"tiscc/internal/core"
+	"tiscc/internal/hardware"
+	"tiscc/internal/instr"
+	"tiscc/internal/pauli"
+	"tiscc/internal/resource"
+	"tiscc/internal/verify"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "regenerate everything")
+		table  = flag.Int("table", 0, "print one paper table (1, 2, 3 or 5)")
+		figure = flag.Int("figure", 0, "print one paper figure (1, 2, 3, 4 or 6)")
+		res    = flag.Bool("resources", false, "print per-instruction resource estimates")
+		ver    = flag.Bool("verify", false, "run the verification matrix")
+		dlist  = flag.String("dlist", "3,5,7,9", "code distances for the resource sweep")
+		d      = flag.Int("d", 3, "code distance for tables/figures")
+	)
+	flag.Parse()
+	if *all {
+		for _, t := range []int{1, 2, 3, 5} {
+			printTable(t, *d)
+		}
+		for _, f := range []int{1, 2, 3, 4, 6} {
+			printFigure(f, *d)
+		}
+		printResources(parseInts(*dlist))
+		runVerify()
+		return
+	}
+	did := false
+	if *table != 0 {
+		printTable(*table, *d)
+		did = true
+	}
+	if *figure != 0 {
+		printFigure(*figure, *d)
+		did = true
+	}
+	if *res {
+		printResources(parseInts(*dlist))
+		did = true
+	}
+	if *ver {
+		runVerify()
+		did = true
+	}
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err == nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// --- Instruction execution helpers -------------------------------------------
+
+// instrSpec describes one member of Table 1 or Table 3.
+type instrSpec struct {
+	Name       string
+	TilesInOut string
+	PaperSteps string
+	Run        func(l *instr.Layout) (instr.Result, error)
+	TwoTiles   bool
+	PrepBoth   bool // needs both tiles initialized first
+	PrepOne    bool // needs tile a initialized first
+}
+
+var a0 = instr.TileCoord{R: 0, C: 0}
+var b0 = instr.TileCoord{R: 1, C: 0}
+
+func table1Specs() []instrSpec {
+	return []instrSpec{
+		{"Prepare Z", "1", "1 (0)", func(l *instr.Layout) (instr.Result, error) { return l.PrepareZ(a0) }, false, false, false},
+		{"Prepare X", "1", "1 (0)", func(l *instr.Layout) (instr.Result, error) { return l.PrepareX(a0) }, false, false, false},
+		{"Inject Y", "1", "0", func(l *instr.Layout) (instr.Result, error) { return l.Inject(a0, core.InjectY) }, false, false, false},
+		{"Inject T", "1", "0", func(l *instr.Layout) (instr.Result, error) { return l.Inject(a0, core.InjectT) }, false, false, false},
+		{"Measure Z", "1", "0", func(l *instr.Layout) (instr.Result, error) { return l.Measure(a0, pauli.Z) }, false, false, true},
+		{"Measure X", "1", "0", func(l *instr.Layout) (instr.Result, error) { return l.Measure(a0, pauli.X) }, false, false, true},
+		{"Pauli X/Y/Z", "1", "0", func(l *instr.Layout) (instr.Result, error) { return l.Pauli(a0, core.LogicalX) }, false, false, true},
+		{"Hadamard", "1", "0", func(l *instr.Layout) (instr.Result, error) { return l.Hadamard(a0) }, false, false, true},
+		{"Idle", "1", "1", func(l *instr.Layout) (instr.Result, error) { return l.Idle(a0) }, false, false, true},
+		{"Measure XX", "2", "1", func(l *instr.Layout) (instr.Result, error) { return l.MeasureXX(a0, b0) }, true, true, false},
+		{"Measure ZZ", "2", "1", func(l *instr.Layout) (instr.Result, error) { return l.MeasureZZ(a0, instr.TileCoord{R: 0, C: 1}) }, true, true, false},
+	}
+}
+
+func table3Specs() []instrSpec {
+	return []instrSpec{
+		{"Bell State Preparation", "2", "1", func(l *instr.Layout) (instr.Result, error) { return l.BellPrep(a0, b0) }, true, false, false},
+		{"Bell Basis Measurement", "2", "1", func(l *instr.Layout) (instr.Result, error) { return l.BellMeasure(a0, b0) }, true, true, false},
+		{"Extend-Split", "2", "1", func(l *instr.Layout) (instr.Result, error) { return l.ExtendSplit(a0, b0) }, true, false, true},
+		{"Merge-Contract", "2", "1", func(l *instr.Layout) (instr.Result, error) { return l.MergeContract(a0, b0) }, true, true, false},
+		{"Move", "2", "1", func(l *instr.Layout) (instr.Result, error) { return l.Move(a0, b0) }, true, false, true},
+		{"Patch Extension", "1/2", "1", func(l *instr.Layout) (instr.Result, error) { return l.PatchExtension(a0, b0) }, true, false, true},
+		{"Patch Contraction", "2/1", "0", func(l *instr.Layout) (instr.Result, error) {
+			if _, err := l.PatchExtension(a0, b0); err != nil {
+				return instr.Result{}, err
+			}
+			return l.PatchContraction(a0, b0)
+		}, true, false, true},
+	}
+}
+
+// runSpec compiles the instruction in isolation (after its prerequisite
+// preparations) and returns its result plus the hardware time and resource
+// estimate of the instruction's own circuit slice.
+func runSpec(s instrSpec, d, dt int) (instr.Result, float64, resource.Estimate, error) {
+	rows, cols := 1, 1
+	if s.TwoTiles {
+		rows, cols = 2, 2
+	}
+	l, err := instr.NewLayout(rows, cols, d, d, dt, hardware.Default())
+	if err != nil {
+		return instr.Result{}, 0, resource.Estimate{}, err
+	}
+	if s.PrepOne || s.PrepBoth {
+		if _, err := l.PrepareZ(a0); err != nil {
+			return instr.Result{}, 0, resource.Estimate{}, err
+		}
+	}
+	if s.PrepBoth {
+		second := b0
+		if s.Name == "Measure ZZ" {
+			second = instr.TileCoord{R: 0, C: 1}
+		}
+		if _, err := l.PrepareZ(second); err != nil {
+			return instr.Result{}, 0, resource.Estimate{}, err
+		}
+	}
+	t0 := l.C.B.Now()
+	n0 := len(l.Circuit().Events)
+	r, err := s.Run(l)
+	if err != nil {
+		return instr.Result{}, 0, resource.Estimate{}, err
+	}
+	t1 := l.C.B.Now()
+	full := l.Circuit()
+	slice := &circuit.Circuit{Events: full.Events[n0:]}
+	est := resource.FromCircuit(slice, hardware.Default())
+	return r, float64(t1-t0) / 1e6, est, nil
+}
+
+// --- Tables -------------------------------------------------------------------
+
+func printTable(n, d int) {
+	switch n {
+	case 1:
+		fmt.Printf("== Table 1: local lattice-surgery instruction set (d=%d, dt=%d) ==\n", d, d)
+		fmt.Printf("%-24s %-9s %-12s %-9s %-12s %-8s\n", "Instruction", "Tiles", "Steps(paper)", "Steps", "HW time(ms)", "Events")
+		for _, s := range table1Specs() {
+			r, ms, est, err := runSpec(s, d, d)
+			if err != nil {
+				fmt.Printf("%-24s ERROR: %v\n", s.Name, err)
+				continue
+			}
+			fmt.Printf("%-24s %-9s %-12s %-9d %-12.3f %-8d\n", s.Name, s.TilesInOut, s.PaperSteps, r.TimeSteps, ms, est.Events)
+		}
+	case 2:
+		printTable2(d)
+	case 3:
+		fmt.Printf("== Table 3: derived instruction set (d=%d, dt=%d) ==\n", d, d)
+		fmt.Printf("%-24s %-9s %-12s %-9s %-12s %-8s\n", "Instruction", "Tiles", "Steps(paper)", "Steps", "HW time(ms)", "Events")
+		for _, s := range table3Specs() {
+			r, ms, est, err := runSpec(s, d, d)
+			if err != nil {
+				fmt.Printf("%-24s ERROR: %v\n", s.Name, err)
+				continue
+			}
+			fmt.Printf("%-24s %-9s %-12s %-9d %-12.3f %-8d\n", s.Name, s.TilesInOut, s.PaperSteps, r.TimeSteps, ms, est.Events)
+		}
+	case 5:
+		p := hardware.Default()
+		fmt.Println("== Table 5: native trapped-ion gate set ==")
+		fmt.Printf("%-12s %-10s\n", "Operation", "Time (µs)")
+		rows := []struct {
+			name string
+			g    circuit.Gate
+		}{
+			{"Prepare_Z", circuit.PrepareZ}, {"Measure_Z", circuit.MeasureZ},
+			{"X_pi/2", circuit.XPi2}, {"X_pi/4", circuit.XPi4},
+			{"Y_pi/2", circuit.YPi2}, {"Y_pi/4", circuit.YPi4},
+			{"Z_pi/2", circuit.ZPi2}, {"Z_pi/4", circuit.ZPi4}, {"Z_pi/8", circuit.ZPi8},
+			{"ZZ", circuit.ZZ}, {"Move", circuit.Move},
+		}
+		for _, r := range rows {
+			fmt.Printf("%-12s %-10.2f\n", r.name, float64(p.Duration(r.g))/1000)
+		}
+		fmt.Printf("%-12s %-10.2f (two per traversal)\n", "Junction", float64(p.Junction)/1000)
+		fmt.Printf("zone width %.0f µm, transport %.0f m/s, junction %.0f m/s\n",
+			p.ZoneWidthM*1e6, p.TransportMPS, p.JunctionMPS)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %d\n", n)
+	}
+	fmt.Println()
+}
+
+// printTable2 exercises the Table 2 primitives at patch level.
+func printTable2(d int) {
+	fmt.Printf("== Table 2: surface-code primitive operations (d=%d) ==\n", d)
+	fmt.Printf("%-12s %-34s %-8s %-12s %-12s\n", "Name", "Function", "Patches", "Steps(paper)", "HW time(ms)")
+	type prim struct {
+		name, fn, patches, steps string
+		run                      func(c *core.Compiler, lq, lq2 *core.LogicalQubit) error
+	}
+	prims := []prim{
+		{"Prepare Z", "LogicalQubit::TransversalPrepareZ", "1", "0", func(c *core.Compiler, lq, _ *core.LogicalQubit) error {
+			lq.TransversalPrepareZ()
+			return nil
+		}},
+		{"Measure Z", "LogicalQubit::TransversalMeasure", "1", "0", func(c *core.Compiler, lq, _ *core.LogicalQubit) error {
+			lq.TransversalPrepareZ()
+			_, err := lq.TransversalMeasure(pauli.Z)
+			return err
+		}},
+		{"Hadamard", "LogicalQubit::TransversalHadamard", "1", "0", func(c *core.Compiler, lq, _ *core.LogicalQubit) error {
+			lq.TransversalPrepareZ()
+			lq.TransversalHadamard()
+			return nil
+		}},
+		{"Inject Y/T", "LogicalQubit::InjectState", "1", "0", func(c *core.Compiler, lq, _ *core.LogicalQubit) error {
+			lq.InjectState(core.InjectY)
+			return nil
+		}},
+		{"Pauli X/Y/Z", "LogicalQubit::ApplyPauli", "1", "0", func(c *core.Compiler, lq, _ *core.LogicalQubit) error {
+			lq.TransversalPrepareZ()
+			lq.ApplyPauli(core.LogicalX)
+			return nil
+		}},
+		{"Idle", "LogicalQubit::Idle", "1", "1", func(c *core.Compiler, lq, _ *core.LogicalQubit) error {
+			lq.TransversalPrepareZ()
+			_, err := lq.Idle(d)
+			return err
+		}},
+		{"Merge", "core.Merge", "2", "1", func(c *core.Compiler, lq, lq2 *core.LogicalQubit) error {
+			lq.TransversalPrepareZ()
+			lq2.TransversalPrepareZ()
+			_, err := core.Merge(lq, lq2, d)
+			return err
+		}},
+		{"Split", "MergeResult.Split", "2", "0", func(c *core.Compiler, lq, lq2 *core.LogicalQubit) error {
+			lq.TransversalPrepareZ()
+			lq2.TransversalPrepareZ()
+			m, err := core.Merge(lq, lq2, d)
+			if err != nil {
+				return err
+			}
+			_, err = m.Split()
+			return err
+		}},
+	}
+	gap := 1
+	if d%2 == 0 {
+		gap = 2
+	}
+	for _, p := range prims {
+		c := core.NewCompiler(2*(d+gap)+2, d+4, hardware.Default())
+		lq, err := c.NewLogicalQubit(d, d, core.Cell{R: 1, C: 1})
+		if err != nil {
+			fmt.Printf("%-12s ERROR: %v\n", p.name, err)
+			continue
+		}
+		lq2, err := c.NewLogicalQubit(d, d, core.Cell{R: 1 + d + gap, C: 1})
+		if err != nil {
+			fmt.Printf("%-12s ERROR: %v\n", p.name, err)
+			continue
+		}
+		if err := p.run(c, lq, lq2); err != nil {
+			fmt.Printf("%-12s ERROR: %v\n", p.name, err)
+			continue
+		}
+		ms := float64(c.B.Now()) / 1e6
+		fmt.Printf("%-12s %-34s %-8s %-12s %-12.3f\n", p.name, p.fn, p.patches, p.steps, ms)
+	}
+}
+
+// --- Figures ------------------------------------------------------------------
+
+func printFigure(n, d int) {
+	switch n {
+	case 1:
+		fmt.Printf("== Figure 1: standard-arrangement patch over the M/O/J tile (d=%d) ==\n", d)
+		c := core.NewCompiler(d+2, d+3, hardware.Default())
+		lq, _ := c.NewLogicalQubit(d, d, core.Cell{R: 1, C: 1})
+		fmt.Print(lq.Render())
+	case 2:
+		fmt.Printf("== Figure 2: the four canonical stabilizer arrangements (d=%d) ==\n", d)
+		for _, arr := range []core.Arrangement{core.Standard, core.Rotated, core.Flipped, core.RotatedFlipped} {
+			c := core.NewCompiler(d+2, d+3, hardware.Default())
+			lq, _ := c.NewLogicalQubit(d, d, core.Cell{R: 1, C: 1})
+			lq.SetArrangement(arr)
+			fmt.Print(lq.RenderStabilizerMap())
+		}
+	case 3:
+		fmt.Printf("== Figure 3: Flip Patch corner-movement sequence (d=%d) ==\n", d)
+		c := core.NewCompiler(d+2, d+3, hardware.Default())
+		lq, _ := c.NewLogicalQubit(d, d, core.Cell{R: 1, C: 1})
+		lq.TransversalPrepareZ()
+		fmt.Print(lq.RenderStabilizerMap())
+		for _, e := range []core.Edge{core.TopEdge, core.RightEdge, core.BottomEdge, core.LeftEdge} {
+			if err := lq.ExtendLogicalOperatorClockwise(e, 1); err != nil {
+				fmt.Println("ERROR:", err)
+				return
+			}
+			fmt.Printf("after %v corner movement:\n", e)
+			fmt.Print(lq.RenderStabilizerMap())
+		}
+	case 4:
+		fmt.Printf("== Figure 4: Move Right then Swap Left (d=%d) ==\n", d)
+		c := core.NewCompiler(d+4, d+7, hardware.Default())
+		lq, _ := c.NewLogicalQubit(d, d, core.Cell{R: 1, C: 2})
+		lq.TransversalPrepareZ()
+		fmt.Printf("before: origin %v, %s\n", lq.Origin, lq.Arr.Name())
+		fmt.Print(lq.RenderStabilizerMap())
+		if err := lq.MoveRight(1); err != nil {
+			fmt.Println("ERROR:", err)
+			return
+		}
+		fmt.Printf("after Move Right: origin %v, %s\n", lq.Origin, lq.Arr.Name())
+		if err := lq.SwapLeft(); err != nil {
+			fmt.Println("ERROR:", err)
+			return
+		}
+		fmt.Printf("after Swap Left: origin %v, %s\n", lq.Origin, lq.Arr.Name())
+		fmt.Print(lq.RenderStabilizerMap())
+	case 6:
+		fmt.Printf("== Figure 6: Z and N measurement patterns (d=%d) ==\n", d)
+		c := core.NewCompiler(d+2, d+3, hardware.Default())
+		lq, _ := c.NewLogicalQubit(d, d, core.Cell{R: 1, C: 1})
+		var zp, xp *core.Plaquette
+		for _, p := range lq.Plaquettes() {
+			if p.Weight() != 4 {
+				continue
+			}
+			if p.Type == pauli.Z && zp == nil {
+				zp = p
+			}
+			if p.Type == pauli.X && xp == nil {
+				xp = p
+			}
+		}
+		if zp != nil {
+			fmt.Print(lq.RenderSchedule(zp))
+		}
+		if xp != nil {
+			fmt.Print(lq.RenderSchedule(xp))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %d\n", n)
+	}
+	fmt.Println()
+}
+
+// --- Resource sweep (Sec 3.4) --------------------------------------------------
+
+func printResources(ds []int) {
+	fmt.Println("== Resource estimates per instruction (Sec 3.4) ==")
+	fmt.Printf("%-14s %-4s %-12s %-12s %-14s %-7s %-12s %-14s\n",
+		"Instruction", "d", "time (ms)", "area (mm²)", "volume (s·mm²)", "zones", "zone-s", "active-zone-s")
+	specs := []instrSpec{}
+	for _, s := range table1Specs() {
+		switch s.Name {
+		case "Prepare Z", "Idle", "Measure Z", "Hadamard", "Measure XX", "Measure ZZ":
+			specs = append(specs, s)
+		}
+	}
+	for _, s := range specs {
+		for _, d := range ds {
+			_, _, est, err := runSpec(s, d, d)
+			if err != nil {
+				fmt.Printf("%-14s %-4d ERROR: %v\n", s.Name, d, err)
+				continue
+			}
+			fmt.Printf("%-14s %-4d %-12.3f %-12.3f %-14.6f %-7d %-12.4f %-14.4f\n",
+				s.Name, d, est.Time*1e3, est.AreaM2*1e6, est.Volume*1e6, est.Zones, est.ZoneSeconds, est.ActiveZoneSeconds)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Logical tile footprint (Sec 2.3): 2⌈(dz+1)/2⌉ × 2⌈(dx+1)/2⌉ repeating units")
+	fmt.Printf("%-4s %-10s %-10s\n", "d", "tile rows", "tile cols")
+	for _, d := range ds {
+		fmt.Printf("%-4d %-10d %-10d\n", d, instr.TileHeight(d), instr.TileWidth(d))
+	}
+	fmt.Println()
+}
+
+// --- Verification matrix (Sec 4) -----------------------------------------------
+
+func runVerify() {
+	fmt.Println("== Verification matrix (Sec 4, via the ORQCS-style simulator) ==")
+	arrs := []core.Arrangement{core.Standard, core.Rotated, core.Flipped, core.RotatedFlipped}
+	ok := func(name string, err error) {
+		status := "PASS"
+		if err != nil {
+			status = "FAIL: " + err.Error()
+		}
+		fmt.Printf("  %-52s %s\n", name, status)
+	}
+	for _, arr := range arrs {
+		for _, p := range []verify.PrepKind{verify.PrepZero, verify.PrepPlus, verify.PrepY} {
+			b, err := verify.StatePrep(3, 3, arr, p, true, 7)
+			if err == nil && b.MaxAbsDiff(p.Ideal()) != 0 {
+				err = fmt.Errorf("bloch %v", b)
+			}
+			ok(fmt.Sprintf("state prep %v from %s (+round)", p, arr.Name()), err)
+		}
+	}
+	for _, op := range []verify.OneTileOp{verify.OpIdle, verify.OpHadamard, verify.OpPauliX, verify.OpFlipPatch, verify.OpMoveRightSwapLeft} {
+		ch, err := verify.OneTileChannel(3, 3, core.Standard, op, 1, 21)
+		if err == nil {
+			if d := ch.MaxAbsDiff(op.Ideal()); d != 0 {
+				err = fmt.Errorf("channel deviates by %v", d)
+			}
+		}
+		ok(fmt.Sprintf("process tomography: %v", op), err)
+	}
+	for _, vertical := range []bool{true, false} {
+		name := "Measure ZZ branch check"
+		if vertical {
+			name = "Measure XX branch check"
+		}
+		_, err := verify.MeasureJointBranch(3, vertical, 11)
+		ok(name, err)
+	}
+	_, err := verify.BellTomography(3, 13)
+	ok("Bell preparation two-qubit tomography", err)
+	ok("quiescence d=3 (3 rounds)", verify.Quiescence(3, 3, 17))
+	ok("stabilizer group check d=2", verify.GroupCheck(2, 19))
+	mean, stderr, err := verify.InjectTBloch(2, 2, 4000, 23)
+	if err == nil {
+		d := mean.MaxAbsDiff(verify.PrepT.Ideal())
+		lim := 5*(stderr[0]+stderr[1]+stderr[2]) + 0.05
+		if d > lim {
+			err = fmt.Errorf("T-state bloch %v off by %v", mean, d)
+		}
+	}
+	ok("Inject T statistical (quasi-Clifford MC)", err)
+	fmt.Println()
+}

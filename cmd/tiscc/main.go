@@ -1,0 +1,188 @@
+// Command tiscc compiles a surface-code operation into a time-resolved
+// trapped-ion hardware circuit and prints the circuit and/or its resource
+// estimate — the command-line usage mode described in paper Appendix B
+// (code distances and operation of interest as input).
+//
+// Usage:
+//
+//	tiscc -op idle -dx 5 -dz 5 -dt 5 [-circuit] [-resources] [-render] [-o file]
+//
+// Operations: prepare_z, prepare_x, inject_y, inject_t, measure_z,
+// measure_x, pauli_x, pauli_y, pauli_z, hadamard, idle, measure_xx,
+// measure_zz, bell_prep, bell_measure, extend_split, merge_contract, move,
+// flip_patch, move_right_swap_left, cnot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tiscc/internal/core"
+	"tiscc/internal/hardware"
+	"tiscc/internal/instr"
+	"tiscc/internal/pauli"
+	"tiscc/internal/resource"
+)
+
+func main() {
+	var (
+		op        = flag.String("op", "idle", "operation to compile")
+		dx        = flag.Int("dx", 5, "X code distance")
+		dz        = flag.Int("dz", 5, "Z code distance")
+		dt        = flag.Int("dt", 0, "time distance (rounds per logical step; default max(dx,dz))")
+		printCirc = flag.Bool("circuit", false, "print the compiled circuit")
+		printRes  = flag.Bool("resources", true, "print the resource estimate")
+		render    = flag.Bool("render", false, "render the patch layout (Fig 1 style)")
+		outFile   = flag.String("o", "", "write the circuit to a file")
+	)
+	flag.Parse()
+	if *dt <= 0 {
+		*dt = *dx
+		if *dz > *dx {
+			*dt = *dz
+		}
+	}
+	if err := run(*op, *dx, *dz, *dt, *printCirc, *printRes, *render, *outFile); err != nil {
+		fmt.Fprintln(os.Stderr, "tiscc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(op string, dx, dz, dt int, printCirc, printRes, render bool, outFile string) error {
+	rows, cols := 1, 1
+	switch op {
+	case "measure_xx", "bell_prep", "bell_measure", "extend_split", "merge_contract", "move":
+		rows = 2
+	case "measure_zz":
+		cols = 2
+	case "cnot":
+		rows, cols = 2, 2
+	}
+	l, err := instr.NewLayout(rows, cols, dx, dz, dt, hardware.Default())
+	if err != nil {
+		return err
+	}
+	a := instr.TileCoord{R: 0, C: 0}
+	b := instr.TileCoord{R: 1, C: 0}
+	r := instr.TileCoord{R: 0, C: 1}
+
+	prepTwo := func() error {
+		if _, err := l.PrepareZ(a); err != nil {
+			return err
+		}
+		second := b
+		if op == "measure_zz" {
+			second = r
+		}
+		_, err := l.PrepareZ(second)
+		return err
+	}
+
+	switch op {
+	case "prepare_z":
+		_, err = l.PrepareZ(a)
+	case "prepare_x":
+		_, err = l.PrepareX(a)
+	case "inject_y":
+		_, err = l.Inject(a, core.InjectY)
+	case "inject_t":
+		_, err = l.Inject(a, core.InjectT)
+	case "measure_z":
+		if _, err = l.PrepareZ(a); err == nil {
+			_, err = l.Measure(a, pauli.Z)
+		}
+	case "measure_x":
+		if _, err = l.PrepareX(a); err == nil {
+			_, err = l.Measure(a, pauli.X)
+		}
+	case "pauli_x", "pauli_y", "pauli_z":
+		k := map[string]core.LogicalKind{"pauli_x": core.LogicalX, "pauli_y": core.LogicalY, "pauli_z": core.LogicalZ}[op]
+		if _, err = l.PrepareZ(a); err == nil {
+			_, err = l.Pauli(a, k)
+		}
+	case "hadamard":
+		if _, err = l.PrepareZ(a); err == nil {
+			_, err = l.Hadamard(a)
+		}
+	case "idle":
+		if _, err = l.PrepareZ(a); err == nil {
+			_, err = l.Idle(a)
+		}
+	case "measure_xx":
+		if err = prepTwo(); err == nil {
+			_, err = l.MeasureXX(a, b)
+		}
+	case "measure_zz":
+		if err = prepTwo(); err == nil {
+			_, err = l.MeasureZZ(a, r)
+		}
+	case "bell_prep":
+		_, err = l.BellPrep(a, b)
+	case "bell_measure":
+		if _, err = l.BellPrep(a, b); err == nil {
+			_, err = l.BellMeasure(a, b)
+		}
+	case "extend_split":
+		if _, err = l.PrepareZ(a); err == nil {
+			_, err = l.ExtendSplit(a, b)
+		}
+	case "merge_contract":
+		if err = prepTwo(); err == nil {
+			_, err = l.MergeContract(a, b)
+		}
+	case "move":
+		if _, err = l.PrepareZ(a); err == nil {
+			_, err = l.Move(a, b)
+		}
+	case "flip_patch":
+		if _, err = l.PrepareZ(a); err == nil {
+			t, _ := l.Tile(a)
+			err = t.LQ.FlipPatch(dt)
+		}
+	case "move_right_swap_left":
+		if _, err = l.PrepareZ(a); err == nil {
+			t, _ := l.Tile(a)
+			if err = t.LQ.MoveRight(dt); err == nil {
+				err = t.LQ.SwapLeft()
+			}
+		}
+	case "cnot":
+		if _, err = l.PrepareX(a); err == nil {
+			if _, err = l.PrepareZ(instr.TileCoord{R: 1, C: 1}); err == nil {
+				_, err = l.CNOT(a, r, instr.TileCoord{R: 1, C: 1})
+			}
+		}
+	default:
+		return fmt.Errorf("unknown operation %q", op)
+	}
+	if err != nil {
+		return err
+	}
+
+	circ := l.Circuit()
+	if err := hardware.Validate(l.C.G, circ); err != nil {
+		return fmt.Errorf("validity check failed: %w", err)
+	}
+	if outFile != "" {
+		if err := os.WriteFile(outFile, []byte(circ.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d events to %s\n", len(circ.Events), outFile)
+	}
+	if printCirc {
+		fmt.Print(circ.String())
+	}
+	if render {
+		t, _ := l.Tile(a)
+		if t.LQ != nil {
+			fmt.Print(t.LQ.Render())
+		}
+	}
+	if printRes {
+		est := resource.FromCircuit(circ, hardware.Default())
+		fmt.Printf("op=%s dx=%d dz=%d dt=%d logical-steps=%d\n", op, dx, dz, dt, l.LogicalTimeSteps())
+		fmt.Println(est)
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+// Magic-state injection: the non-fault-tolerant Inject T instruction is the
+// front end of a magic-state factory (the resource enabling T gates and
+// universality, paper Sec 2.1). Because the injection circuit contains one
+// non-Clifford gate, verification is statistical: the simulator decomposes
+// the T-gate channel into Clifford channels with quasi-probability weights
+// (negativity γ = √2) and Monte-Carlo-averages the logical expectations
+// (paper Sec 4.1).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"tiscc"
+	"tiscc/internal/pauli"
+)
+
+func main() {
+	const d = 3
+	layout, err := tiscc.NewLayout(1, 1, d, d, d, tiscc.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tile := tiscc.TileCoord{R: 0, C: 0}
+	if _, err := layout.Inject(tile, tiscc.InjectT); err != nil {
+		log.Fatal(err)
+	}
+	// One subsequent round of syndrome extraction produces a quiescent
+	// encoded |T⟩ (verified both with and without it in the paper).
+	if _, err := layout.Idle(tile); err != nil {
+		log.Fatal(err)
+	}
+	circ := layout.Circuit()
+	fmt.Printf("compiled T-state injection: %d events, 1 non-Clifford gate (Z_pi/8)\n", len(circ.Events))
+
+	t, _ := layout.Tile(tile)
+	const shots = 5000
+	want := map[string]float64{"X": 1 / math.Sqrt2, "Y": 1 / math.Sqrt2, "Z": 0}
+	for _, k := range []tiscc.LogicalKind{tiscc.LogicalX, tiscc.LogicalY, tiscc.LogicalZ} {
+		rep := t.LQ.GeoRep(k)
+		site, neg := layout.C.SitePauli(rep)
+		mean, stderr, err := tiscc.EstimateExpectation(circ, site, shots, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if neg {
+			mean = -mean
+		}
+		name := k.String()
+		fmt.Printf("⟨%s̄⟩ = %+.4f ± %.4f   (ideal %+.4f)\n", name, mean, stderr, want[name])
+	}
+	fmt.Printf("sampling overhead per T gate: γ² = %.1f (γ = √2, Sec 4.1)\n", tiscc.Gamma*tiscc.Gamma)
+	_ = pauli.X
+}

@@ -1,0 +1,244 @@
+// Package circuit defines the time-resolved hardware circuit representation
+// emitted by the compiler (TISCC Sec 3.2/3.4): a list of native trapped-ion
+// gate events, each bound to one or two trapping-zone sites with an explicit
+// start time and duration. The textual form round-trips through Parse so the
+// verification simulator (internal/orqcs) can consume compiler output
+// exactly the way ORQCS consumes TISCC output in the paper.
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strings"
+
+	"tiscc/internal/grid"
+)
+
+// Gate names the members of the native trapped-ion gate set (paper Table 5).
+type Gate string
+
+// Native gate set. Angles follow the paper's P_θ = exp(−iPθ) convention with
+// θ ∈ {π/2, ±π/4, ±π/8}; ZZ is (ZZ)_{π/4}. Junction traversals are emitted
+// as Move between the two zones flanking the junction.
+const (
+	PrepareZ Gate = "Prepare_Z"
+	MeasureZ Gate = "Measure_Z"
+	XPi2     Gate = "X_pi/2"
+	XPi4     Gate = "X_pi/4"
+	XmPi4    Gate = "X_-pi/4"
+	YPi2     Gate = "Y_pi/2"
+	YPi4     Gate = "Y_pi/4"
+	YmPi4    Gate = "Y_-pi/4"
+	ZPi2     Gate = "Z_pi/2"
+	ZPi4     Gate = "Z_pi/4"
+	ZmPi4    Gate = "Z_-pi/4"
+	ZPi8     Gate = "Z_pi/8"
+	ZmPi8    Gate = "Z_-pi/8"
+	ZZ       Gate = "ZZ"
+	Move     Gate = "Move"
+
+	// Explicit well operations (paper future work (i)(a): "a more realistic
+	// trapped-ion instruction set (including explicit split, merge, swap,
+	// and cool operations)"). When the hardware model runs in explicit-well
+	// mode, each two-qubit interaction is emitted as MergeWells → ZZ (bare
+	// gate time) → SplitWells → Cool instead of a single 2 ms ZZ.
+	MergeWells Gate = "Merge_Wells"
+	SplitWells Gate = "Split_Wells"
+	Cool       Gate = "Cool"
+)
+
+// TwoQubit reports whether the gate addresses two sites.
+func (g Gate) TwoQubit() bool {
+	return g == ZZ || g == Move || g == MergeWells || g == SplitWells || g == Cool
+}
+
+// Clifford reports whether the gate is a Clifford operation (everything in
+// the set except the ±π/8 rotations, which require quasi-probability
+// sampling in the simulator).
+func (g Gate) Clifford() bool { return g != ZPi8 && g != ZmPi8 }
+
+// Event is a single scheduled hardware operation.
+type Event struct {
+	Gate  Gate
+	S1    grid.Site
+	S2    grid.Site // second site for ZZ and Move
+	Start int64     // nanoseconds
+	Dur   int64     // nanoseconds
+	// Record is the measurement-record index for MeasureZ events, -1
+	// otherwise. Record indices are the variables of the outcome formulas
+	// attached to compiled operations.
+	Record int32
+	// ViaJunction marks Move events that traverse a junction (the two sites
+	// flank a common junction; time covers two Junction operations).
+	ViaJunction bool
+}
+
+// End returns the completion time of the event.
+func (e Event) End() int64 { return e.Start + e.Dur }
+
+// Circuit is an ordered list of events plus bookkeeping totals.
+type Circuit struct {
+	Events []Event
+}
+
+// Duration returns the makespan of the circuit in nanoseconds.
+func (c *Circuit) Duration() int64 {
+	var d int64
+	for _, e := range c.Events {
+		if e.End() > d {
+			d = e.End()
+		}
+	}
+	return d
+}
+
+// NumRecords returns one past the largest record index used, i.e. the size
+// of the record table a simulator must produce.
+func (c *Circuit) NumRecords() int32 {
+	var n int32
+	for _, e := range c.Events {
+		if e.Record >= n {
+			n = e.Record + 1
+		}
+	}
+	return n
+}
+
+// Sites returns the distinct sites touched by the circuit.
+func (c *Circuit) Sites() []grid.Site {
+	seen := map[grid.Site]bool{}
+	var out []grid.Site
+	add := func(s grid.Site) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, e := range c.Events {
+		add(e.S1)
+		if e.Gate.TwoQubit() {
+			add(e.S2)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].R != out[j].R {
+			return out[i].R < out[j].R
+		}
+		return out[i].C < out[j].C
+	})
+	return out
+}
+
+// SortByTime orders events by start time, breaking ties by emission order
+// (stable sort preserves program order for equal times).
+func (c *Circuit) SortByTime() {
+	sort.SliceStable(c.Events, func(i, j int) bool { return c.Events[i].Start < c.Events[j].Start })
+}
+
+// Append concatenates another circuit's events (times are preserved).
+func (c *Circuit) Append(other *Circuit) {
+	c.Events = append(c.Events, other.Events...)
+}
+
+// ActiveSiteTime sums duration × sites-involved over all events (the
+// "active trapping zone-seconds" numerator of the resource estimator).
+func (c *Circuit) ActiveSiteTime() int64 {
+	var t int64
+	for _, e := range c.Events {
+		n := int64(1)
+		if e.Gate.TwoQubit() {
+			n = 2
+		}
+		t += n * e.Dur
+	}
+	return t
+}
+
+// GateCounts tallies events per gate name.
+func (c *Circuit) GateCounts() map[Gate]int {
+	m := map[Gate]int{}
+	for _, e := range c.Events {
+		m[e.Gate]++
+	}
+	return m
+}
+
+// String renders the circuit in the TISCC-style textual form, one event per
+// line:
+//
+//	<gate> <r.c> [<r.c>] t=<start_ns> d=<dur_ns> [m=<record>] [J]
+func (c *Circuit) String() string {
+	var sb strings.Builder
+	for _, e := range c.Events {
+		sb.WriteString(string(e.Gate))
+		fmt.Fprintf(&sb, " %s", e.S1)
+		if e.Gate.TwoQubit() {
+			fmt.Fprintf(&sb, " %s", e.S2)
+		}
+		fmt.Fprintf(&sb, " t=%d d=%d", e.Start, e.Dur)
+		if e.Gate == MeasureZ {
+			fmt.Fprintf(&sb, " m=%d", e.Record)
+		}
+		if e.ViaJunction {
+			sb.WriteString(" J")
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Parse reads the textual form back into a Circuit.
+func Parse(text string) (*Circuit, error) {
+	c := &Circuit{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		g := Gate(fields[0])
+		e := Event{Gate: g, Record: -1}
+		i := 1
+		s1, err := grid.ParseSite(fields[i])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		e.S1 = s1
+		i++
+		if g.TwoQubit() {
+			s2, err := grid.ParseSite(fields[i])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", line, err)
+			}
+			e.S2 = s2
+			i++
+		}
+		for ; i < len(fields); i++ {
+			f := fields[i]
+			switch {
+			case strings.HasPrefix(f, "t="):
+				if _, err := fmt.Sscanf(f, "t=%d", &e.Start); err != nil {
+					return nil, fmt.Errorf("line %d: %v", line, err)
+				}
+			case strings.HasPrefix(f, "d="):
+				if _, err := fmt.Sscanf(f, "d=%d", &e.Dur); err != nil {
+					return nil, fmt.Errorf("line %d: %v", line, err)
+				}
+			case strings.HasPrefix(f, "m="):
+				if _, err := fmt.Sscanf(f, "m=%d", &e.Record); err != nil {
+					return nil, fmt.Errorf("line %d: %v", line, err)
+				}
+			case f == "J":
+				e.ViaJunction = true
+			default:
+				return nil, fmt.Errorf("line %d: unknown field %q", line, f)
+			}
+		}
+		c.Events = append(c.Events, e)
+	}
+	return c, sc.Err()
+}

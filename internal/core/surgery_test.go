@@ -1,0 +1,453 @@
+package core
+
+import (
+	"testing"
+
+	"tiscc/internal/expr"
+	"tiscc/internal/hardware"
+	"tiscc/internal/orqcs"
+)
+
+// twoPatchCompiler lays out two vertically adjacent tiles of distance d
+// (odd or even) and returns the compiler and both patches.
+func twoPatchCompiler(t *testing.T, d int, vertical bool) (*Compiler, *LogicalQubit, *LogicalQubit) {
+	t.Helper()
+	gap := 1
+	if d%2 == 0 {
+		gap = 2
+	}
+	var c *Compiler
+	var err error
+	var a, b *LogicalQubit
+	if vertical {
+		c = NewCompiler(2*(d+gap)+2, d+4, hardware.Default())
+		a, err = c.NewLogicalQubit(d, d, Cell{1, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err = c.NewLogicalQubit(d, d, Cell{1 + d + gap, 1})
+	} else {
+		c = NewCompiler(d+2, 2*(d+gap)+4, hardware.Default())
+		a, err = c.NewLogicalQubit(d, d, Cell{1, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err = c.NewLogicalQubit(d, d, Cell{1, 1 + d + gap})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, a, b
+}
+
+// evalValue computes the corrected expectation for a LogicalValue; when the
+// compiler reports the operator as undetermined, the simulator must agree
+// by returning a zero raw expectation.
+func evalValue(t *testing.T, c *Compiler, lv LogicalValue, err error, eng *orqcs.Engine) float64 {
+	t.Helper()
+	site, neg := c.SitePauli(lv.Rep)
+	v, eerr := eng.Expectation(site)
+	if eerr != nil {
+		t.Fatal(eerr)
+	}
+	if err == ErrUndetermined {
+		if v != 0 {
+			t.Fatalf("compiler says undetermined but simulator gives ⟨·⟩ = %v", v)
+		}
+		return 0
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg {
+		v = -v
+	}
+	if lv.Sign.Eval(eng.Records()) {
+		v = -v
+	}
+	return v
+}
+
+// jointExp evaluates ⟨L̄a·L̄b⟩ with all compiler corrections applied.
+func jointExp(t *testing.T, c *Compiler, a, b *LogicalQubit, k LogicalKind, eng *orqcs.Engine) float64 {
+	t.Helper()
+	lv, err := c.JointLogicalValue([]LogicalTerm{{a, k}, {b, k}})
+	return evalValue(t, c, lv, err, eng)
+}
+
+func singleExp(t *testing.T, c *Compiler, lq *LogicalQubit, k LogicalKind, eng *orqcs.Engine) float64 {
+	t.Helper()
+	lv, err := lq.LogicalValueOf(k)
+	return evalValue(t, c, lv, err, eng)
+}
+
+func TestMeasureXXCreatesBellPair(t *testing.T) {
+	for _, d := range []int{2, 3} {
+		for seed := int64(0); seed < 4; seed++ {
+			c, a, b := twoPatchCompiler(t, d, true)
+			a.TransversalPrepareZ()
+			b.TransversalPrepareZ()
+			m, err := Merge(a, b, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Kind != LogicalX {
+				t.Fatal("vertical merge should measure X̄X̄")
+			}
+			s, err := m.Split()
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := orqcs.RunOnce(c.Build(), seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outcome := m.Outcome.Eval(eng.Records())
+			// Post-measurement state: X̄X̄ = outcome, Z̄Z̄ = +1 (from |0̄0̄⟩),
+			// individual logicals destroyed.
+			want := 1.0
+			if outcome {
+				want = -1
+			}
+			if v := jointExp(t, c, s.A, s.B, LogicalX, eng); v != want {
+				t.Errorf("d=%d seed=%d: ⟨X̄X̄⟩ = %v, want %v", d, seed, v, want)
+			}
+			if v := jointExp(t, c, s.A, s.B, LogicalZ, eng); v != 1 {
+				t.Errorf("d=%d seed=%d: ⟨Z̄Z̄⟩ = %v, want 1", d, seed, v)
+			}
+			if v := singleExp(t, c, s.A, LogicalZ, eng); v != 0 {
+				t.Errorf("d=%d seed=%d: ⟨Z̄a⟩ = %v, want 0", d, seed, v)
+			}
+		}
+	}
+}
+
+func TestMeasureXXOnPlusEigenstate(t *testing.T) {
+	c, a, b := twoPatchCompiler(t, 3, true)
+	a.TransversalPrepareX()
+	b.TransversalPrepareX()
+	m, err := Merge(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Split(); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := orqcs.RunOnce(c.Build(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |+̄+̄⟩ is an X̄X̄ = +1 eigenstate: the outcome must be deterministic +.
+	if m.Outcome.Eval(eng.Records()) {
+		t.Error("X̄X̄ on |+̄+̄⟩ gave −1")
+	}
+}
+
+func TestMeasureXXAnticorrelatedEigenstate(t *testing.T) {
+	c, a, b := twoPatchCompiler(t, 3, true)
+	a.TransversalPrepareX()
+	b.TransversalPrepareX()
+	b.ApplyPauli(LogicalZ) // |+̄⟩ ⊗ |−̄⟩: X̄X̄ = −1
+	m, err := Merge(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Split(); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := orqcs.RunOnce(c.Build(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Outcome.Eval(eng.Records()) {
+		t.Error("X̄X̄ on |+̄−̄⟩ gave +1")
+	}
+}
+
+func TestMeasureZZHorizontal(t *testing.T) {
+	for _, d := range []int{2, 3} {
+		c, a, b := twoPatchCompiler(t, d, false)
+		a.TransversalPrepareZ()
+		b.TransversalPrepareZ()
+		b.ApplyPauli(LogicalX) // |0̄1̄⟩: Z̄Z̄ = −1 deterministic
+		m, err := Merge(a, b, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Kind != LogicalZ {
+			t.Fatal("horizontal merge should measure Z̄Z̄")
+		}
+		s, err := m.Split()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := orqcs.RunOnce(c.Build(), 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Outcome.Eval(eng.Records()) {
+			t.Errorf("d=%d: Z̄Z̄ on |0̄1̄⟩ gave +1", d)
+		}
+		// X̄X̄ correlation established up to the outcome; Z̄ values preserved.
+		if v := singleExp(t, c, s.A, LogicalZ, eng); v != 1 {
+			t.Errorf("d=%d: ⟨Z̄a⟩ = %v, want 1", d, v)
+		}
+		if v := singleExp(t, c, s.B, LogicalZ, eng); v != -1 {
+			t.Errorf("d=%d: ⟨Z̄b⟩ = %v, want -1", d, v)
+		}
+	}
+}
+
+func TestPostSplitBoundariesKnown(t *testing.T) {
+	// Footnote 7: thanks to the ancilla strip, the post-split boundary
+	// stabilizers are already known from merge + split records — the
+	// tracker must derive a deterministic value for every plaquette of both
+	// patches, and the simulator must agree with a subsequent round.
+	c, a, b := twoPatchCompiler(t, 3, true)
+	a.TransversalPrepareZ()
+	b.TransversalPrepareZ()
+	m, err := Merge(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Split()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pred struct {
+		face Face
+		e    expr.Expr
+	}
+	var preds []pred
+	for _, lq := range []*LogicalQubit{s.A, s.B} {
+		for _, p := range lq.Plaquettes() {
+			ok, e := c.TR.Expectation(lq.StabilizerString(p))
+			if !ok {
+				t.Fatalf("plaquette %v of patch at %v not determined after split", p.Face, lq.Origin)
+			}
+			preds = append(preds, pred{p.Face, e})
+		}
+	}
+	// Run one more round on each patch and check the predictions.
+	ra, err := s.A.Idle(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := s.B.Idle(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := orqcs.RunOnce(c.Build(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := eng.Records()
+	i := 0
+	for _, rr := range []*RoundResult{ra[0], rb[0]} {
+		for _, p := range rr.Plaqs {
+			want := preds[i].e.Eval(recs)
+			got := recs[rr.Records[p.Face]]
+			if got != want {
+				t.Errorf("plaquette %v: predicted %v, measured %v", p.Face, want, got)
+			}
+			i++
+		}
+	}
+}
+
+func TestExtendContractIdentity(t *testing.T) {
+	// Patch extension followed by contraction is the identity process
+	// (paper Sec 4.4 verifies both sub-instructions this way).
+	for _, k := range []LogicalKind{LogicalZ, LogicalX} {
+		c := NewCompiler(10, 7, hardware.Default())
+		lq, err := c.NewLogicalQubit(3, 3, Cell{1, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == LogicalZ {
+			lq.TransversalPrepareZ()
+		} else {
+			lq.TransversalPrepareX()
+		}
+		if _, err := lq.ExtendDown(4, 1); err != nil {
+			t.Fatal(err)
+		}
+		if lq.Rows != 7 {
+			t.Fatalf("rows after extension = %d", lq.Rows)
+		}
+		if _, err := lq.ContractFromBottom(4); err != nil {
+			t.Fatal(err)
+		}
+		if lq.Rows != 3 {
+			t.Fatalf("rows after contraction = %d", lq.Rows)
+		}
+		eng, err := orqcs.RunOnce(c.Build(), 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := singleExp(t, c, lq, k, eng); v != 1 {
+			t.Errorf("⟨%v⟩ after extend+contract = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestExtendRightContractIdentity(t *testing.T) {
+	c := NewCompiler(5, 12, hardware.Default())
+	lq, err := c.NewLogicalQubit(3, 3, Cell{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lq.InjectState(InjectY)
+	if _, err := lq.ExtendRight(4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lq.ContractFromRight(4); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := orqcs.RunOnce(c.Build(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := singleExp(t, c, lq, LogicalY, eng); v != 1 {
+		t.Errorf("⟨Ȳ⟩ after horizontal extend+contract = %v, want 1", v)
+	}
+}
+
+func TestMoveViaExtendContract(t *testing.T) {
+	// The Move derived instruction: extend into the neighbouring tile, then
+	// contract away the original half. The patch ends displaced with its
+	// state intact.
+	c := NewCompiler(10, 7, hardware.Default())
+	lq, err := c.NewLogicalQubit(3, 3, Cell{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lq.TransversalPrepareX()
+	if _, err := lq.ExtendDown(4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lq.ContractFromTop(4); err != nil {
+		t.Fatal(err)
+	}
+	if lq.Origin.R != 5 || lq.Rows != 3 {
+		t.Fatalf("patch did not move: origin %v rows %d", lq.Origin, lq.Rows)
+	}
+	// Even row displacement keeps the arrangement.
+	if lq.Arr != Standard {
+		t.Fatalf("arrangement = %s", lq.Arr.Name())
+	}
+	eng, err := orqcs.RunOnce(c.Build(), 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := singleExp(t, c, lq, LogicalX, eng); v != 1 {
+		t.Errorf("⟨X̄⟩ after move = %v, want 1", v)
+	}
+	if err := hardware.Validate(c.G, c.Build()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoveRightSwapLeft(t *testing.T) {
+	// Fig 4: Move Right then Swap Left maps standard → rotated-flipped in
+	// one logical time-step on one tile, preserving the encoded state.
+	for _, k := range []LogicalKind{LogicalZ, LogicalX, LogicalY} {
+		c := NewCompiler(6, 9, hardware.Default())
+		lq, err := c.NewLogicalQubit(3, 3, Cell{1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch k {
+		case LogicalZ:
+			lq.TransversalPrepareZ()
+		case LogicalX:
+			lq.TransversalPrepareX()
+		case LogicalY:
+			lq.InjectState(InjectY)
+		}
+		if err := lq.MoveRight(1); err != nil {
+			t.Fatal(err)
+		}
+		if lq.Origin.C != 3 || lq.Arr != RotatedFlipped {
+			t.Fatalf("after MoveRight: origin %v arr %s", lq.Origin, lq.Arr.Name())
+		}
+		if err := lq.SwapLeft(); err != nil {
+			t.Fatal(err)
+		}
+		if lq.Origin.C != 2 || lq.Arr != RotatedFlipped {
+			t.Fatalf("after SwapLeft: origin %v arr %s", lq.Origin, lq.Arr.Name())
+		}
+		if err := lq.CheckCode(); err != nil {
+			t.Fatal(err)
+		}
+		eng, err := orqcs.RunOnce(c.Build(), 35)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := singleExp(t, c, lq, k, eng); v != 1 {
+			t.Errorf("⟨%v⟩ after MoveRight+SwapLeft = %v, want 1", k, v)
+		}
+		if err := hardware.Validate(c.G, c.Build()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMergedPatchIdle(t *testing.T) {
+	// A merged patch is itself a valid LogicalQubit. Merging |+̄⟩⊗|+̄⟩
+	// leaves the merged logical in |+̄⟩ (X̄m ≃ X̄a with X̄X̄ = +1): idling it
+	// must preserve ⟨X̄m⟩ = 1 while Z̄m is undetermined.
+	c, a, b := twoPatchCompiler(t, 3, true)
+	a.TransversalPrepareX()
+	b.TransversalPrepareX()
+	m, err := Merge(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Merged.Idle(1); err != nil {
+		t.Fatal(err)
+	}
+	if v := 7 - m.Merged.Rows; v != 0 {
+		t.Fatalf("merged rows = %d", m.Merged.Rows)
+	}
+	eng, err := orqcs.RunOnce(c.Build(), 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := singleExp(t, c, m.Merged, LogicalX, eng); v != 1 {
+		t.Errorf("merged ⟨X̄⟩ = %v, want 1", v)
+	}
+	if v := singleExp(t, c, m.Merged, LogicalZ, eng); v != 0 {
+		t.Errorf("merged ⟨Z̄⟩ = %v, want 0", v)
+	}
+}
+
+func TestMergeRejectsNonStandard(t *testing.T) {
+	_, a, b := twoPatchCompiler(t, 3, true)
+	a.TransversalPrepareZ()
+	b.TransversalPrepareZ()
+	a.TransversalHadamard()
+	if _, err := Merge(a, b, 1); err == nil {
+		t.Fatal("merge of rotated patch accepted")
+	}
+}
+
+func TestMergeSeamWidthEvenDistance(t *testing.T) {
+	// Even code distances need a two-cell seam (paper Sec 2.3).
+	c, a, b := twoPatchCompiler(t, 4, true)
+	a.TransversalPrepareZ()
+	b.TransversalPrepareZ()
+	m, err := Merge(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.seam) != 2*4 {
+		t.Fatalf("seam cells = %d, want 8", len(m.seam))
+	}
+	if _, err := m.Split(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orqcs.RunOnce(c.Build(), 37); err != nil {
+		t.Fatal(err)
+	}
+}

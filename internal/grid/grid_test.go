@@ -1,0 +1,184 @@
+package grid
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTypeOf(t *testing.T) {
+	cases := []struct {
+		s Site
+		w SiteType
+	}{
+		{Site{0, 0}, Junction},
+		{Site{0, 1}, Memory},
+		{Site{0, 2}, Operation},
+		{Site{0, 3}, Memory},
+		{Site{0, 4}, Junction},
+		{Site{1, 0}, Memory},
+		{Site{2, 0}, Operation},
+		{Site{3, 0}, Memory},
+		{Site{4, 0}, Junction},
+		{Site{1, 1}, None},
+		{Site{2, 3}, None},
+		{Site{5, 4}, Memory},
+		{Site{6, 4}, Operation},
+	}
+	for _, c := range cases {
+		if got := TypeOf(c.s); got != c.w {
+			t.Errorf("TypeOf(%v) = %v, want %v", c.s, got, c.w)
+		}
+	}
+}
+
+func TestRepeatingUnitCount(t *testing.T) {
+	// A 1x1 grid has the closing rails: sites = 4 junctions + 4 arms × 3.
+	g := New(1, 1)
+	if n := g.NumSites(); n != 16 {
+		t.Fatalf("1x1 grid sites = %d, want 16", n)
+	}
+	// Adding a cell row adds one junction row (5 sites for 1 cell col) plus
+	// two vertical arms (6 sites): the interior repeating unit is the
+	// paper's 7-site {M,O,M,J,M,O,M}.
+	g2 := New(2, 1)
+	if n := g2.NumSites(); n != 27 {
+		t.Fatalf("2x1 grid sites = %d, want 27", n)
+	}
+	// Closed form: (R+1)(C+1) junctions + arms: R·C interior cells own one
+	// horizontal and one vertical arm, plus closing arms on the last row/col.
+	big := New(10, 10)
+	want := 11*11 + 3*(10*11) + 3*(11*10)
+	if n := big.NumSites(); n != want {
+		t.Fatalf("10x10 grid sites = %d, want %d", n, want)
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := New(2, 2)
+	// A junction in the middle has 4 neighbors.
+	n := g.Neighbors(Site{4, 4})
+	if len(n) != 4 {
+		t.Fatalf("junction neighbors = %d, want 4", len(n))
+	}
+	// A corner junction has 2.
+	n = g.Neighbors(Site{0, 0})
+	if len(n) != 2 {
+		t.Fatalf("corner junction neighbors = %d, want 2", len(n))
+	}
+	// An O site has 2 (along its arm).
+	n = g.Neighbors(Site{0, 2})
+	if len(n) != 2 {
+		t.Fatalf("O-site neighbors = %d, want 2", len(n))
+	}
+}
+
+func TestAdjacentAndCommonJunction(t *testing.T) {
+	if !Adjacent(Site{0, 1}, Site{0, 2}) || Adjacent(Site{0, 1}, Site{0, 3}) {
+		t.Fatal("Adjacent broken")
+	}
+	j, ok := CommonJunction(Site{0, 3}, Site{0, 5})
+	if !ok || j != (Site{0, 4}) {
+		t.Fatalf("CommonJunction = %v, %v", j, ok)
+	}
+	j, ok = CommonJunction(Site{0, 3}, Site{1, 4})
+	if !ok || j != (Site{0, 4}) {
+		t.Fatalf("CommonJunction around corner = %v, %v", j, ok)
+	}
+	if _, ok := CommonJunction(Site{0, 1}, Site{0, 5}); ok {
+		t.Fatal("CommonJunction false positive")
+	}
+}
+
+func TestPathStraight(t *testing.T) {
+	g := New(2, 2)
+	p, err := g.Path(Site{0, 1}, Site{0, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 3 {
+		t.Fatalf("path len = %d, want 3", len(p))
+	}
+}
+
+func TestPathThroughJunction(t *testing.T) {
+	g := New(2, 2)
+	p, err := g.Path(Site{0, 3}, Site{1, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 3 || TypeOf(p[1]) != Junction {
+		t.Fatalf("path = %v", p)
+	}
+}
+
+func TestPathAvoidsBlocked(t *testing.T) {
+	g := New(2, 2)
+	// Block the O site between (0,1) and (0,3): path must detour.
+	blocked := func(s Site) bool { return s == Site{0, 2} }
+	p, err := g.Path(Site{0, 1}, Site{0, 3}, blocked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range p {
+		if s == (Site{0, 2}) {
+			t.Fatal("path used blocked site")
+		}
+	}
+	if len(p) <= 3 {
+		t.Fatalf("detour too short: %v", p)
+	}
+}
+
+func TestPathEndpointJunctionRejected(t *testing.T) {
+	g := New(2, 2)
+	if _, err := g.Path(Site{0, 0}, Site{0, 1}, nil); err == nil {
+		t.Fatal("expected error for junction endpoint")
+	}
+}
+
+func TestParseSiteRoundTrip(t *testing.T) {
+	s := Site{12, 34}
+	got, err := ParseSite(s.String())
+	if err != nil || got != s {
+		t.Fatalf("round trip: %v %v", got, err)
+	}
+}
+
+func TestRender(t *testing.T) {
+	g := New(1, 1)
+	out := g.Render(nil)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("render rows = %d", len(lines))
+	}
+	if lines[0] != "JMOMJ" {
+		t.Fatalf("row 0 = %q", lines[0])
+	}
+	if lines[1] != "M   M" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "O   O" {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+func TestDataSiteIsOperation(t *testing.T) {
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			if TypeOf(DataSite(a, b)) != Operation {
+				t.Fatalf("DataSite(%d,%d) not an O site", a, b)
+			}
+			if TypeOf(JunctionAt(a, b)) != Junction {
+				t.Fatalf("JunctionAt(%d,%d) not a junction", a, b)
+			}
+			arm := VerticalArm(a, b)
+			if TypeOf(arm[0]) != Memory || TypeOf(arm[1]) != Operation || TypeOf(arm[2]) != Memory {
+				t.Fatalf("VerticalArm(%d,%d) wrong types", a, b)
+			}
+			h := HorizontalArm(a, b)
+			if TypeOf(h[0]) != Memory || TypeOf(h[1]) != Operation || TypeOf(h[2]) != Memory {
+				t.Fatalf("HorizontalArm(%d,%d) wrong types", a, b)
+			}
+		}
+	}
+}

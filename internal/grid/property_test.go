@@ -1,0 +1,133 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomSite draws a valid non-junction site of the grid.
+func randomSite(r *rand.Rand, g *Grid) Site {
+	for {
+		s := Site{R: r.Intn(g.MaxR() + 1), C: r.Intn(g.MaxC() + 1)}
+		if t := TypeOf(s); g.Valid(s) && t != Junction {
+			return s
+		}
+	}
+}
+
+// Property: BFS paths connect their endpoints through pairwise-adjacent
+// valid sites, never end on junctions, and respect blocked sites.
+func TestPathProperties(t *testing.T) {
+	g := New(4, 5)
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randomSite(r, g), randomSite(r, g)
+		// Random blocked set that excludes the endpoints.
+		blocked := map[Site]bool{}
+		for i := 0; i < r.Intn(6); i++ {
+			s := randomSite(r, g)
+			if s != a && s != b {
+				blocked[s] = true
+			}
+		}
+		path, err := g.Path(a, b, func(s Site) bool { return blocked[s] })
+		if err != nil {
+			continue // blocked sets may disconnect the endpoints; that's fine
+		}
+		if path[0] != a || path[len(path)-1] != b {
+			t.Fatalf("trial %d: endpoints wrong", trial)
+		}
+		for i := 1; i < len(path); i++ {
+			if !Adjacent(path[i-1], path[i]) {
+				t.Fatalf("trial %d: non-adjacent step %v -> %v", trial, path[i-1], path[i])
+			}
+			if !g.Valid(path[i]) {
+				t.Fatalf("trial %d: invalid site %v", trial, path[i])
+			}
+			if blocked[path[i]] && TypeOf(path[i]) != Junction {
+				t.Fatalf("trial %d: blocked site %v used", trial, path[i])
+			}
+		}
+	}
+}
+
+// Property: unblocked BFS paths are shortest (length equals an
+// independently computed BFS distance).
+func TestPathIsShortest(t *testing.T) {
+	g := New(3, 3)
+	r := rand.New(rand.NewSource(23))
+	dist := func(a, b Site) int {
+		seen := map[Site]int{a: 0}
+		queue := []Site{a}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if cur == b {
+				return seen[cur]
+			}
+			for _, n := range g.Neighbors(cur) {
+				if _, ok := seen[n]; !ok {
+					seen[n] = seen[cur] + 1
+					queue = append(queue, n)
+				}
+			}
+		}
+		return -1
+	}
+	for trial := 0; trial < 100; trial++ {
+		a, b := randomSite(r, g), randomSite(r, g)
+		path, err := g.Path(a, b, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(path)-1 != dist(a, b) {
+			t.Fatalf("trial %d: path length %d, BFS distance %d", trial, len(path)-1, dist(a, b))
+		}
+	}
+}
+
+// Property: every valid site has 2–4 neighbors, and adjacency is symmetric.
+func TestNeighborSymmetry(t *testing.T) {
+	g := New(3, 4)
+	for rr := 0; rr <= g.MaxR(); rr++ {
+		for cc := 0; cc <= g.MaxC(); cc++ {
+			s := Site{R: rr, C: cc}
+			if !g.Valid(s) {
+				continue
+			}
+			ns := g.Neighbors(s)
+			if len(ns) < 1 || len(ns) > 4 {
+				t.Fatalf("site %v has %d neighbors", s, len(ns))
+			}
+			for _, n := range ns {
+				back := g.Neighbors(n)
+				found := false
+				for _, b := range back {
+					if b == s {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("adjacency not symmetric between %v and %v", s, n)
+				}
+			}
+		}
+	}
+}
+
+// Property: the site-type pattern is 4-periodic and junctions sit exactly
+// at multiples of 4.
+func TestTypePeriodicity(t *testing.T) {
+	for rr := 0; rr < 16; rr++ {
+		for cc := 0; cc < 16; cc++ {
+			s := Site{R: rr, C: cc}
+			p := Site{R: rr + 4, C: cc + 4}
+			if TypeOf(s) != TypeOf(p) {
+				t.Fatalf("pattern not 4-periodic at %v", s)
+			}
+			if (TypeOf(s) == Junction) != (rr%4 == 0 && cc%4 == 0) {
+				t.Fatalf("junction placement wrong at %v", s)
+			}
+		}
+	}
+}

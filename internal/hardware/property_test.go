@@ -1,0 +1,126 @@
+package hardware
+
+import (
+	"math/rand"
+	"testing"
+
+	"tiscc/internal/circuit"
+	"tiscc/internal/grid"
+)
+
+// Property: any program of random (legal) builder operations yields a
+// circuit that passes the independent validity checker, with per-ion events
+// strictly ordered in time.
+func TestRandomProgramsValid(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := grid.New(3, 3)
+		b := NewBuilder(g, Default())
+
+		// Place a few ions on distinct non-junction sites.
+		var ions []Ion
+		occupied := map[grid.Site]bool{}
+		for len(ions) < 4 {
+			s := grid.Site{R: r.Intn(g.MaxR() + 1), C: r.Intn(g.MaxC() + 1)}
+			if !g.Valid(s) || grid.TypeOf(s) == grid.Junction || occupied[s] {
+				continue
+			}
+			occupied[s] = true
+			ions = append(ions, b.MustAddIon(s))
+		}
+
+		oneQ := []circuit.Gate{circuit.XPi2, circuit.XPi4, circuit.YPi4, circuit.ZPi4, circuit.ZPi2}
+		for step := 0; step < 40; step++ {
+			ion := ions[r.Intn(len(ions))]
+			switch r.Intn(5) {
+			case 0:
+				b.Prepare(ion)
+			case 1:
+				b.Gate1(oneQ[r.Intn(len(oneQ))], ion)
+			case 2:
+				b.Measure(ion)
+			case 3:
+				// Random short walk to a free site.
+				target := grid.Site{R: r.Intn(g.MaxR() + 1), C: r.Intn(g.MaxC() + 1)}
+				if !g.Valid(target) || grid.TypeOf(target) == grid.Junction || b.Occupied(target) {
+					continue
+				}
+				blocked := func(s grid.Site) bool { return b.Occupied(s) && s != b.Pos(ion) }
+				path, err := g.Path(b.Pos(ion), target, blocked)
+				if err != nil {
+					continue
+				}
+				if err := b.MoveAlong(ion, path); err != nil {
+					t.Fatalf("seed %d: move failed: %v", seed, err)
+				}
+			case 4:
+				other := ions[r.Intn(len(ions))]
+				if other == ion || !grid.Adjacent(b.Pos(ion), b.Pos(other)) {
+					continue
+				}
+				if err := b.ZZGate(ion, other); err != nil {
+					t.Fatalf("seed %d: zz failed: %v", seed, err)
+				}
+			}
+		}
+		c := b.Build()
+		if err := Validate(g, c); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, c.String())
+		}
+		// Per-ion monotonicity is implied by availability bookkeeping; the
+		// global stream must be sorted by start time after Build.
+		for i := 1; i < len(c.Events); i++ {
+			if c.Events[i].Start < c.Events[i-1].Start {
+				t.Fatalf("seed %d: events not time-sorted", seed)
+			}
+		}
+	}
+}
+
+// Property: junction windows never overlap in built circuits.
+func TestJunctionWindowsDisjoint(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(100 + seed))
+		g := grid.New(2, 2)
+		b := NewBuilder(g, Default())
+		// Several ions on vertical arms around the central junction (4,4).
+		sites := []grid.Site{{R: 1, C: 4}, {R: 3, C: 4}, {R: 5, C: 4}, {R: 4, C: 1}, {R: 4, C: 7}}
+		var ions []Ion
+		for _, s := range sites {
+			ions = append(ions, b.MustAddIon(s))
+		}
+		// Shuffle ions across the junction repeatedly.
+		for step := 0; step < 20; step++ {
+			ion := ions[r.Intn(len(ions))]
+			target := grid.Site{R: r.Intn(g.MaxR() + 1), C: r.Intn(g.MaxC() + 1)}
+			if !g.Valid(target) || grid.TypeOf(target) == grid.Junction || b.Occupied(target) {
+				continue
+			}
+			blocked := func(s grid.Site) bool { return b.Occupied(s) && s != b.Pos(ion) }
+			path, err := g.Path(b.Pos(ion), target, blocked)
+			if err != nil {
+				continue
+			}
+			if err := b.MoveAlong(ion, path); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		c := b.Build()
+		type win struct{ s, e int64 }
+		byJ := map[grid.Site][]win{}
+		for _, e := range c.Events {
+			if e.Gate == circuit.Move && e.ViaJunction {
+				j, ok := grid.CommonJunction(e.S1, e.S2)
+				if !ok {
+					t.Fatal("junction move without junction")
+				}
+				for _, w := range byJ[j] {
+					if e.Start < w.e && w.s < e.End() {
+						t.Fatalf("seed %d: overlapping junction windows at %v", seed, j)
+					}
+				}
+				byJ[j] = append(byJ[j], win{e.Start, e.End()})
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package instr
+
+import (
+	"testing"
+
+	"tiscc/internal/core"
+)
+
+// TestBellChain verifies the paper's Sec 2.1 claim: long-range entanglement
+// between remote tiles in exactly two logical time-steps via a chain of
+// local Bell pairs and Bell measurements.
+func TestBellChain(t *testing.T) {
+	for _, length := range []int{2, 4, 6} {
+		l := newLayout(t, length, 1, 2)
+		steps0 := l.LogicalTimeSteps()
+		r, err := l.BellChain(TileCoord{R: 0, C: 0}, length)
+		if err != nil {
+			t.Fatalf("length %d: %v", length, err)
+		}
+		if got := l.LogicalTimeSteps() - steps0; got != 2 {
+			t.Errorf("length %d: chain cost %d time-steps, want 2", length, got)
+		}
+		first := TileCoord{R: 0, C: 0}
+		last := TileCoord{R: length - 1, C: 0}
+		for seed := int64(0); seed < 3; seed++ {
+			eng := run(t, l, 300+seed)
+			recs := eng.Records()
+			wantXX, wantZZ := 1.0, 1.0
+			if r.Outcomes["xx"].Eval(recs) {
+				wantXX = -1
+			}
+			if r.Outcomes["zz"].Eval(recs) {
+				wantZZ = -1
+			}
+			if v := jointTileExp(t, l, first, last, core.LogicalX, eng); v != wantXX {
+				t.Errorf("length %d seed %d: ⟨X̄X̄⟩ = %v, want %v", length, seed, v, wantXX)
+			}
+			if v := jointTileExp(t, l, first, last, core.LogicalZ, eng); v != wantZZ {
+				t.Errorf("length %d seed %d: ⟨Z̄Z̄⟩ = %v, want %v", length, seed, v, wantZZ)
+			}
+			// The ends are maximally entangled: individual logicals vanish.
+			if v := tileExp(t, l, first, core.LogicalZ, eng); v != 0 {
+				t.Errorf("length %d: ⟨Z̄first⟩ = %v, want 0", length, v)
+			}
+		}
+	}
+}
+
+// TestBellChainInteriorConsumed checks that interior tiles end
+// uninitialized (destructive Bell measurements).
+func TestBellChainInteriorConsumed(t *testing.T) {
+	l := newLayout(t, 4, 1, 2)
+	if _, err := l.BellChain(TileCoord{R: 0, C: 0}, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int{1, 2} {
+		tile, _ := l.Tile(TileCoord{R: r, C: 0})
+		if tile.Initialized() {
+			t.Errorf("interior tile %d still initialized", r)
+		}
+	}
+	for _, r := range []int{0, 3} {
+		tile, _ := l.Tile(TileCoord{R: r, C: 0})
+		if !tile.Initialized() {
+			t.Errorf("end tile %d not initialized", r)
+		}
+	}
+}
+
+func TestBellChainRejectsOdd(t *testing.T) {
+	l := newLayout(t, 3, 1, 2)
+	if _, err := l.BellChain(TileCoord{R: 0, C: 0}, 3); err == nil {
+		t.Fatal("odd chain accepted")
+	}
+}

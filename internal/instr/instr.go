@@ -1,0 +1,346 @@
+// Package instr implements the paper's local, tile-based lattice-surgery
+// instruction set (TISCC Sec 2.2, Tables 1 and 3). Logical tiles are units
+// of hardware area of 2⌈(dz+1)/2⌉ × 2⌈(dx+1)/2⌉ repeating units (Sec 2.3),
+// arranged on an extended two-dimensional grid; instructions act on one or
+// two neighbouring tiles and account for logical time-steps (one time-step
+// = dt rounds of error correction).
+package instr
+
+import (
+	"fmt"
+
+	"tiscc/internal/circuit"
+	"tiscc/internal/core"
+	"tiscc/internal/expr"
+	"tiscc/internal/hardware"
+	"tiscc/internal/pauli"
+)
+
+// TileCoord addresses a logical tile on the tile grid.
+type TileCoord struct {
+	R, C int
+}
+
+// Tile is one logical tile: a unit of hardware area that is either
+// uninitialized or occupied by an operable surface-code patch (Sec 2.3).
+type Tile struct {
+	Coord TileCoord
+	LQ    *core.LogicalQubit // nil while uninitialized
+}
+
+// Initialized reports whether an operable patch occupies the tile.
+func (t *Tile) Initialized() bool { return t.LQ != nil && t.LQ.Initialized }
+
+// TileHeight returns the tile height in repeating units: 2⌈(dz+1)/2⌉.
+func TileHeight(dz int) int { return 2 * ((dz + 2) / 2) }
+
+// TileWidth returns the tile width in repeating units: 2⌈(dx+1)/2⌉.
+func TileWidth(dx int) int { return 2 * ((dx + 2) / 2) }
+
+// Layout owns a compiler and a grid of logical tiles with uniform code
+// distances. DT is the time distance: the number of error-correction
+// rounds per logical time-step.
+type Layout struct {
+	C                  *core.Compiler
+	DX, DZ, DT         int
+	TileRows, TileCols int
+
+	tiles map[TileCoord]*Tile
+	steps int
+}
+
+// NewLayout allocates a hardware grid large enough for tileRows × tileCols
+// logical tiles of the given code distances (one margin unit on the west
+// and north for boundary measure qubits and Swap Left, two on the east for
+// retiree routing).
+func NewLayout(tileRows, tileCols, dx, dz, dt int, p hardware.Params) (*Layout, error) {
+	if tileRows < 1 || tileCols < 1 || dx < 2 || dz < 2 || dt < 1 {
+		return nil, fmt.Errorf("instr: invalid layout parameters")
+	}
+	h, w := TileHeight(dz), TileWidth(dx)
+	cellRows := 1 + tileRows*h
+	cellCols := 1 + tileCols*w + 2
+	l := &Layout{
+		C:        core.NewCompiler(cellRows, cellCols, p),
+		DX:       dx,
+		DZ:       dz,
+		DT:       dt,
+		TileRows: tileRows,
+		TileCols: tileCols,
+		tiles:    map[TileCoord]*Tile{},
+	}
+	for r := 0; r < tileRows; r++ {
+		for c := 0; c < tileCols; c++ {
+			l.tiles[TileCoord{r, c}] = &Tile{Coord: TileCoord{r, c}}
+		}
+	}
+	return l, nil
+}
+
+// Tile returns the tile at a coordinate.
+func (l *Layout) Tile(tc TileCoord) (*Tile, error) {
+	t, ok := l.tiles[tc]
+	if !ok {
+		return nil, fmt.Errorf("instr: tile %v outside layout", tc)
+	}
+	return t, nil
+}
+
+// Origin returns the data-cell origin of a tile's patch.
+func (l *Layout) Origin(tc TileCoord) core.Cell {
+	return core.Cell{R: 1 + tc.R*TileHeight(l.DZ), C: 1 + tc.C*TileWidth(l.DX)}
+}
+
+// LogicalTimeSteps returns the accumulated logical time-steps.
+func (l *Layout) LogicalTimeSteps() int { return l.steps }
+
+// Circuit returns the compiled master hardware circuit.
+func (l *Layout) Circuit() *circuit.Circuit { return l.C.Build() }
+
+// seamGap is the ancilla-strip width between neighbouring patches: one for
+// odd code distances, two for even (Sec 2.3).
+func seamGap(d int) int {
+	if d%2 == 0 {
+		return 2
+	}
+	return 1
+}
+
+// Result reports an executed instruction.
+type Result struct {
+	Name      string
+	TimeSteps int
+	// Outcome carries the instruction's logical measurement outcome
+	// formula, when it has one (Measure X/Z, Measure XX/ZZ, Bell
+	// measurement).
+	Outcome *expr.Expr
+	// Extra outcome formulas keyed by name (e.g. Bell measurement's two
+	// bits).
+	Outcomes map[string]expr.Expr
+}
+
+func (l *Layout) finish(name string, steps int) Result {
+	l.steps += steps
+	return Result{Name: name, TimeSteps: steps}
+}
+
+// requireFree fetches a tile and checks it is uninitialized.
+func (l *Layout) requireFree(tc TileCoord) (*Tile, error) {
+	t, err := l.Tile(tc)
+	if err != nil {
+		return nil, err
+	}
+	if t.Initialized() {
+		return nil, fmt.Errorf("instr: tile %v already initialized", tc)
+	}
+	return t, nil
+}
+
+// requireInit fetches a tile and checks it hosts a patch.
+func (l *Layout) requireInit(tc TileCoord) (*Tile, error) {
+	t, err := l.Tile(tc)
+	if err != nil {
+		return nil, err
+	}
+	if !t.Initialized() {
+		return nil, fmt.Errorf("instr: tile %v not initialized", tc)
+	}
+	return t, nil
+}
+
+// newPatch instantiates an (uninitialized) patch on a tile.
+func (l *Layout) newPatch(t *Tile) error {
+	lq, err := l.C.NewLogicalQubit(l.DX, l.DZ, l.Origin(t.Coord))
+	if err != nil {
+		return err
+	}
+	t.LQ = lq
+	return nil
+}
+
+// ensurePatch returns the tile's patch, creating the region on demand.
+func (l *Layout) ensurePatch(t *Tile) (*core.LogicalQubit, error) {
+	if t.LQ == nil {
+		if err := l.newPatch(t); err != nil {
+			return nil, err
+		}
+	}
+	return t.LQ, nil
+}
+
+// --- Table 1: the local lattice-surgery instruction set ----------------------
+
+// PrepareZ initializes one uninitialized tile to |0̄⟩ fault-tolerantly:
+// transversal preparation plus dt rounds of error correction (1 time-step).
+func (l *Layout) PrepareZ(tc TileCoord) (Result, error) {
+	t, err := l.requireFree(tc)
+	if err != nil {
+		return Result{}, err
+	}
+	lq, err := l.ensurePatch(t)
+	if err != nil {
+		return Result{}, err
+	}
+	lq.TransversalPrepareZ()
+	if _, err := lq.Idle(l.DT); err != nil {
+		return Result{}, err
+	}
+	return l.finish("Prepare Z", 1), nil
+}
+
+// PrepareX initializes one uninitialized tile to |+̄⟩ fault-tolerantly
+// (1 time-step).
+func (l *Layout) PrepareX(tc TileCoord) (Result, error) {
+	t, err := l.requireFree(tc)
+	if err != nil {
+		return Result{}, err
+	}
+	lq, err := l.ensurePatch(t)
+	if err != nil {
+		return Result{}, err
+	}
+	lq.TransversalPrepareX()
+	if _, err := lq.Idle(l.DT); err != nil {
+		return Result{}, err
+	}
+	return l.finish("Prepare X", 1), nil
+}
+
+// Inject initializes one uninitialized tile to |Y⟩ or |T⟩
+// non-fault-tolerantly (0 time-steps).
+func (l *Layout) Inject(tc TileCoord, k core.InjectKind) (Result, error) {
+	t, err := l.requireFree(tc)
+	if err != nil {
+		return Result{}, err
+	}
+	lq, err := l.ensurePatch(t)
+	if err != nil {
+		return Result{}, err
+	}
+	lq.InjectState(k)
+	name := "Inject Y"
+	if k == core.InjectT {
+		name = "Inject T"
+	}
+	return l.finish(name, 0), nil
+}
+
+// Measure measures one initialized tile transversally in the X or Z basis
+// and makes it uninitialized (0 time-steps). The returned outcome formula
+// reconstructs the logical measurement result from the per-qubit records.
+func (l *Layout) Measure(tc TileCoord, basis pauli.Kind) (Result, error) {
+	t, err := l.requireInit(tc)
+	if err != nil {
+		return Result{}, err
+	}
+	kind := core.LogicalZ
+	if basis == pauli.X {
+		kind = core.LogicalX
+	}
+	lv, lverr := t.LQ.LogicalValueOf(kind)
+	if lverr == core.ErrUndetermined {
+		// The operator's lineage was destroyed by an earlier joint
+		// measurement; read it out in a fresh raw-record frame.
+		t.LQ.RefreshLogical(kind)
+		lv, lverr = t.LQ.LogicalValueOf(kind)
+	}
+	recs, err := t.LQ.TransversalMeasure(basis)
+	if err != nil {
+		return Result{}, err
+	}
+	res := l.finish(fmt.Sprintf("Measure %v", kind), 0)
+	if lverr == nil {
+		out := lv.Sign
+		for _, cell := range t.LQ.DataCells() {
+			if lv.Rep.Kind(l.C.Qubit(cell)) != pauli.I {
+				out = out.Xor(expr.FromID(recs[cell]))
+			}
+		}
+		if lv.Rep.Sign() == -1 {
+			out = out.XorConst(true)
+		}
+		res.Outcome = &out
+	}
+	return res, nil
+}
+
+// Pauli applies a logical Pauli operator to an initialized tile
+// (0 time-steps; Table 1 includes it explicitly even though it is usually
+// tracked in the Pauli frame).
+func (l *Layout) Pauli(tc TileCoord, k core.LogicalKind) (Result, error) {
+	t, err := l.requireInit(tc)
+	if err != nil {
+		return Result{}, err
+	}
+	t.LQ.ApplyPauli(k)
+	return l.finish(fmt.Sprintf("Pauli %v", k), 0), nil
+}
+
+// Hadamard performs a transversal Hadamard over an initialized tile
+// (0 time-steps), leaving the patch in the S-toggled arrangement.
+func (l *Layout) Hadamard(tc TileCoord) (Result, error) {
+	t, err := l.requireInit(tc)
+	if err != nil {
+		return Result{}, err
+	}
+	t.LQ.TransversalHadamard()
+	return l.finish("Hadamard", 0), nil
+}
+
+// Idle performs dt cycles of error correction on an initialized tile
+// (1 time-step).
+func (l *Layout) Idle(tc TileCoord) (Result, error) {
+	t, err := l.requireInit(tc)
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := t.LQ.Idle(l.DT); err != nil {
+		return Result{}, err
+	}
+	return l.finish("Idle", 1), nil
+}
+
+// MeasureXX measures the joint X̄X̄ operator of two vertically-adjacent
+// initialized tiles (1 time-step): a merge across the ancilla strip for dt
+// rounds followed by a split.
+func (l *Layout) MeasureXX(top, bottom TileCoord) (Result, error) {
+	return l.measureJoint(top, bottom, true)
+}
+
+// MeasureZZ measures the joint Z̄Z̄ operator of two horizontally-adjacent
+// initialized tiles (1 time-step).
+func (l *Layout) MeasureZZ(left, right TileCoord) (Result, error) {
+	return l.measureJoint(left, right, false)
+}
+
+func (l *Layout) measureJoint(a, b TileCoord, vertical bool) (Result, error) {
+	ta, err := l.requireInit(a)
+	if err != nil {
+		return Result{}, err
+	}
+	tb, err := l.requireInit(b)
+	if err != nil {
+		return Result{}, err
+	}
+	if vertical && (a.C != b.C || b.R != a.R+1) {
+		return Result{}, fmt.Errorf("instr: Measure XX requires vertically adjacent tiles")
+	}
+	if !vertical && (a.R != b.R || b.C != a.C+1) {
+		return Result{}, fmt.Errorf("instr: Measure ZZ requires horizontally adjacent tiles")
+	}
+	m, err := core.Merge(ta.LQ, tb.LQ, l.DT)
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := m.Split(); err != nil {
+		return Result{}, err
+	}
+	name := "Measure XX"
+	if !vertical {
+		name = "Measure ZZ"
+	}
+	res := l.finish(name, 1)
+	out := m.Outcome
+	res.Outcome = &out
+	return res, nil
+}

@@ -1,0 +1,547 @@
+package instr
+
+import (
+	"testing"
+
+	"tiscc/internal/core"
+	"tiscc/internal/expr"
+	"tiscc/internal/hardware"
+	"tiscc/internal/orqcs"
+	"tiscc/internal/pauli"
+)
+
+func newLayout(t *testing.T, rows, cols, d int) *Layout {
+	t.Helper()
+	l, err := NewLayout(rows, cols, d, d, 1, hardware.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// run executes the compiled circuit and returns the engine.
+func run(t *testing.T, l *Layout, seed int64) *orqcs.Engine {
+	t.Helper()
+	eng, err := orqcs.RunOnce(l.Circuit(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// tileExp evaluates a tile's logical expectation with corrections.
+func tileExp(t *testing.T, l *Layout, tc TileCoord, k core.LogicalKind, eng *orqcs.Engine) float64 {
+	t.Helper()
+	tile, err := l.Tile(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, lverr := tile.LQ.LogicalValueOf(k)
+	site, neg := l.C.SitePauli(lv.Rep)
+	v, err := eng.Expectation(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lverr == core.ErrUndetermined {
+		if v != 0 {
+			t.Fatalf("undetermined %v with nonzero raw expectation %v", k, v)
+		}
+		return 0
+	}
+	if lverr != nil {
+		t.Fatal(lverr)
+	}
+	if neg {
+		v = -v
+	}
+	if lv.Sign.Eval(eng.Records()) {
+		v = -v
+	}
+	return v
+}
+
+func jointTileExp(t *testing.T, l *Layout, a, b TileCoord, k core.LogicalKind, eng *orqcs.Engine) float64 {
+	t.Helper()
+	ta, _ := l.Tile(a)
+	tb, _ := l.Tile(b)
+	lv, err := l.C.JointLogicalValue([]core.LogicalTerm{{LQ: ta.LQ, Kind: k}, {LQ: tb.LQ, Kind: k}})
+	site, neg := l.C.SitePauli(lv.Rep)
+	v, eerr := eng.Expectation(site)
+	if eerr != nil {
+		t.Fatal(eerr)
+	}
+	if err == core.ErrUndetermined {
+		if v != 0 {
+			t.Fatalf("undetermined joint %v with raw %v", k, v)
+		}
+		return 0
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg {
+		v = -v
+	}
+	if lv.Sign.Eval(eng.Records()) {
+		v = -v
+	}
+	return v
+}
+
+func TestTileFootprint(t *testing.T) {
+	// Paper Sec 2.3: a logical tile is 2⌈(dz+1)/2⌉ rows × 2⌈(dx+1)/2⌉ cols.
+	cases := []struct{ d, want int }{{2, 4}, {3, 4}, {4, 6}, {5, 6}, {6, 8}, {7, 8}, {12, 14}, {13, 14}}
+	for _, c := range cases {
+		if got := TileHeight(c.d); got != c.want {
+			t.Errorf("TileHeight(%d) = %d, want %d", c.d, got, c.want)
+		}
+		if got := TileWidth(c.d); got != c.want {
+			t.Errorf("TileWidth(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestTable1TimeSteps(t *testing.T) {
+	// Table 1: instruction → logical time-steps.
+	l := newLayout(t, 2, 2, 3)
+	a, b := TileCoord{0, 0}, TileCoord{1, 0}
+	c := TileCoord{0, 1}
+	steps := func() int { return l.LogicalTimeSteps() }
+
+	if r, err := l.PrepareZ(a); err != nil || r.TimeSteps != 1 {
+		t.Fatalf("PrepareZ: %v steps=%d", err, r.TimeSteps)
+	}
+	if r, err := l.PrepareX(b); err != nil || r.TimeSteps != 1 {
+		t.Fatalf("PrepareX: %v steps=%d", err, r.TimeSteps)
+	}
+	if r, err := l.Inject(c, core.InjectY); err != nil || r.TimeSteps != 0 {
+		t.Fatalf("Inject: %v steps=%d", err, r.TimeSteps)
+	}
+	if r, err := l.Pauli(a, core.LogicalX); err != nil || r.TimeSteps != 0 {
+		t.Fatalf("Pauli: %v steps=%d", err, r.TimeSteps)
+	}
+	if r, err := l.Hadamard(c); err != nil || r.TimeSteps != 0 {
+		t.Fatalf("Hadamard: %v steps=%d", err, r.TimeSteps)
+	}
+	if r, err := l.Idle(a); err != nil || r.TimeSteps != 1 {
+		t.Fatalf("Idle: %v steps=%d", err, r.TimeSteps)
+	}
+	if r, err := l.MeasureXX(a, b); err != nil || r.TimeSteps != 1 {
+		t.Fatalf("MeasureXX: %v steps=%d", err, r.TimeSteps)
+	}
+	if r, err := l.Measure(a, pauli.Z); err != nil || r.TimeSteps != 0 {
+		t.Fatalf("Measure: %v steps=%d", err, r.TimeSteps)
+	}
+	if got, want := steps(), 1+1+0+0+0+1+1+0; got != want {
+		t.Fatalf("accumulated steps = %d, want %d", got, want)
+	}
+}
+
+func TestMeasureOutcomeReconstruction(t *testing.T) {
+	// Prepare |1̄⟩ and reconstruct the Z̄ outcome from transversal records.
+	l := newLayout(t, 1, 1, 3)
+	a := TileCoord{0, 0}
+	if _, err := l.PrepareZ(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Pauli(a, core.LogicalX); err != nil {
+		t.Fatal(err)
+	}
+	r, err := l.Measure(a, pauli.Z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Outcome == nil {
+		t.Fatal("no outcome formula")
+	}
+	eng := run(t, l, 61)
+	if !r.Outcome.Eval(eng.Records()) {
+		t.Error("Z̄ outcome = +1, want −1 for |1̄⟩")
+	}
+}
+
+func TestMeasureXOutcome(t *testing.T) {
+	l := newLayout(t, 1, 1, 3)
+	a := TileCoord{0, 0}
+	if _, err := l.PrepareX(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Pauli(a, core.LogicalZ); err != nil {
+		t.Fatal(err)
+	}
+	r, err := l.Measure(a, pauli.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := run(t, l, 62)
+	if !r.Outcome.Eval(eng.Records()) {
+		t.Error("X̄ outcome = +1, want −1 for |−̄⟩")
+	}
+}
+
+func TestBellPrep(t *testing.T) {
+	for _, d := range []int{2, 3} {
+		l := newLayout(t, 2, 1, d)
+		a, b := TileCoord{0, 0}, TileCoord{1, 0}
+		r, err := l.BellPrep(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TimeSteps != 1 {
+			t.Fatalf("BellPrep steps = %d", r.TimeSteps)
+		}
+		eng := run(t, l, 63)
+		want := 1.0
+		if r.Outcome.Eval(eng.Records()) {
+			want = -1
+		}
+		if v := jointTileExp(t, l, a, b, core.LogicalX, eng); v != want {
+			t.Errorf("d=%d: ⟨X̄X̄⟩ = %v, want %v", d, v, want)
+		}
+		if v := jointTileExp(t, l, a, b, core.LogicalZ, eng); v != 1 {
+			t.Errorf("d=%d: ⟨Z̄Z̄⟩ = %v, want 1", d, v)
+		}
+	}
+}
+
+func TestBellMeasure(t *testing.T) {
+	// Prepare a Bell pair, then Bell-measure it: outcomes must match the
+	// preparation (xx = prep sign, zz = +).
+	l := newLayout(t, 2, 1, 3)
+	a, b := TileCoord{0, 0}, TileCoord{1, 0}
+	prep, err := l.BellPrep(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := l.BellMeasure(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := run(t, l, 64)
+	if got, want := meas.Outcomes["xx"].Eval(eng.Records()), prep.Outcome.Eval(eng.Records()); got != want {
+		t.Errorf("Bell xx = %v, prep sign %v", got, want)
+	}
+	if meas.Outcomes["zz"].Eval(eng.Records()) {
+		t.Error("Bell zz = −1, want +1")
+	}
+	ta, _ := l.Tile(a)
+	if ta.Initialized() {
+		t.Error("tile still initialized after destructive Bell measurement")
+	}
+}
+
+func TestExtendSplitEquivalentToPrepPlusMeasureXX(t *testing.T) {
+	// Extend-Split ≡ Prepare |+⟩ on the new tile + Measure XX, fused into
+	// one time-step (Appendix A).
+	l := newLayout(t, 2, 1, 3)
+	a, b := TileCoord{0, 0}, TileCoord{1, 0}
+	if _, err := l.PrepareZ(a); err != nil {
+		t.Fatal(err)
+	}
+	r, err := l.ExtendSplit(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TimeSteps != 1 {
+		t.Fatalf("ExtendSplit steps = %d", r.TimeSteps)
+	}
+	eng := run(t, l, 65)
+	// The pair should now be an X̄X̄ eigenstate with Z̄a preserved... the
+	// fused operation equals PrepX(b)+MeasureXX(a,b) on |0̄⟩: resulting
+	// state has X̄X̄ = outcome, Z̄ values entangled.
+	if r.Outcome == nil {
+		t.Fatal("no XX outcome")
+	}
+	want := 1.0
+	if r.Outcome.Eval(eng.Records()) {
+		want = -1
+	}
+	if v := jointTileExp(t, l, a, b, core.LogicalX, eng); v != want {
+		t.Errorf("⟨X̄X̄⟩ = %v, want %v", v, want)
+	}
+}
+
+func TestMergeContract(t *testing.T) {
+	// Merge-Contract on |+̄⟩⊗|+̄⟩ leaves a single tile in |+̄⟩ with XX=+1.
+	l := newLayout(t, 2, 1, 3)
+	a, b := TileCoord{0, 0}, TileCoord{1, 0}
+	if _, err := l.PrepareX(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.PrepareX(b); err != nil {
+		t.Fatal(err)
+	}
+	r, err := l.MergeContract(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := run(t, l, 66)
+	if r.Outcome.Eval(eng.Records()) {
+		t.Error("XX on |+̄+̄⟩ gave −1")
+	}
+	if v := tileExp(t, l, a, core.LogicalX, eng); v != 1 {
+		t.Errorf("⟨X̄⟩ after merge-contract = %v, want 1", v)
+	}
+	tb, _ := l.Tile(b)
+	if tb.Initialized() {
+		t.Error("bottom tile still initialized")
+	}
+}
+
+func TestMoveInstruction(t *testing.T) {
+	l := newLayout(t, 2, 1, 3)
+	a, b := TileCoord{0, 0}, TileCoord{1, 0}
+	if _, err := l.PrepareX(a); err != nil {
+		t.Fatal(err)
+	}
+	r, err := l.Move(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TimeSteps != 1 {
+		t.Fatalf("Move steps = %d", r.TimeSteps)
+	}
+	eng := run(t, l, 67)
+	if v := tileExp(t, l, b, core.LogicalX, eng); v != 1 {
+		t.Errorf("⟨X̄⟩ after move = %v, want 1", v)
+	}
+	ta, _ := l.Tile(a)
+	if ta.Initialized() {
+		t.Error("source tile still initialized")
+	}
+}
+
+func TestPatchExtensionContraction(t *testing.T) {
+	// Extension followed by contraction is an identity process (Table 3).
+	l := newLayout(t, 2, 1, 3)
+	a, b := TileCoord{0, 0}, TileCoord{1, 0}
+	if _, err := l.Inject(a, core.InjectY); err != nil {
+		t.Fatal(err)
+	}
+	if r, err := l.PatchExtension(a, b); err != nil || r.TimeSteps != 1 {
+		t.Fatalf("extension: %v steps=%d", err, r.TimeSteps)
+	}
+	if r, err := l.PatchContraction(a, b); err != nil || r.TimeSteps != 0 {
+		t.Fatalf("contraction: %v steps=%d", err, r.TimeSteps)
+	}
+	eng := run(t, l, 68)
+	if v := tileExp(t, l, a, core.LogicalY, eng); v != 1 {
+		t.Errorf("⟨Ȳ⟩ = %v, want 1", v)
+	}
+}
+
+// checkRelation verifies that reading `out` now equals the input value of
+// the ideal Heisenberg image (a product of input logical operators): the
+// compiler must resolve the relation, and when wantVal is set the
+// frame-corrected simulator value must match.
+func checkRelation(t *testing.T, l *Layout, out *pauli.String, image []core.LogicalTerm, eng *orqcs.Engine, wantVal *bool) {
+	t.Helper()
+	frame, err := l.C.RelateOutput(out, image)
+	if err != nil {
+		t.Fatalf("relation: %v", err)
+	}
+	if wantVal == nil {
+		return
+	}
+	site, neg := l.C.SitePauli(out)
+	v, err := eng.Expectation(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == 0 {
+		t.Fatalf("output operator unexpectedly indefinite")
+	}
+	got := v < 0
+	if neg {
+		got = !got
+	}
+	if frame.Eval(eng.Records()) {
+		got = !got
+	}
+	if got != *wantVal {
+		t.Errorf("corrected output value = %v, want %v", got, *wantVal)
+	}
+}
+
+// checkIndefinite asserts the raw output expectation vanishes (inputs not
+// eigenstates of the ideal image).
+func checkIndefinite(t *testing.T, l *Layout, out *pauli.String, eng *orqcs.Engine) {
+	t.Helper()
+	site, _ := l.C.SitePauli(out)
+	v, err := eng.Expectation(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("expected indefinite output, got %v", v)
+	}
+}
+
+func cnotFixture(t *testing.T, l *Layout) (control, target TileCoord, basis []core.LogicalTerm) {
+	t.Helper()
+	control = TileCoord{0, 0}
+	target = TileCoord{1, 1}
+	ct, _ := l.Tile(control)
+	tt, _ := l.Tile(target)
+	basis = []core.LogicalTerm{
+		{LQ: ct.LQ, Kind: core.LogicalX},
+		{LQ: ct.LQ, Kind: core.LogicalZ},
+		{LQ: tt.LQ, Kind: core.LogicalX},
+		{LQ: tt.LQ, Kind: core.LogicalZ},
+	}
+	return control, target, basis
+}
+
+func TestCNOT(t *testing.T) {
+	// CNOT |+̄⟩|0̄⟩ → Bell pair. Verified through the ideal Heisenberg
+	// images: X̄cX̄t-out ← X̄c-in (+1), Z̄cZ̄t-out ← Z̄t-in (+1);
+	// X̄c-out and Z̄t-out are indefinite for this input.
+	for seed := int64(0); seed < 6; seed++ {
+		l := newLayout(t, 2, 2, 3)
+		control, ancilla, target := TileCoord{0, 0}, TileCoord{0, 1}, TileCoord{1, 1}
+		if _, err := l.PrepareX(control); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.PrepareZ(target); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.CNOT(control, ancilla, target); err != nil {
+			t.Fatal(err)
+		}
+		_, _, basis := cnotFixture(t, l)
+		eng := run(t, l, 100+seed)
+		fls := false
+		outXX := pauli.Product(basis[0].LQ.GeoRep(core.LogicalX), basis[2].LQ.GeoRep(core.LogicalX))
+		checkRelation(t, l, outXX, []core.LogicalTerm{basis[0]}, eng, &fls)
+		outZZ := pauli.Product(basis[1].LQ.GeoRep(core.LogicalZ), basis[3].LQ.GeoRep(core.LogicalZ))
+		checkRelation(t, l, outZZ, []core.LogicalTerm{basis[3]}, eng, &fls)
+		// Individual Z̄c-out (← Z̄c) and X̄t-out (← X̄t) are indefinite here.
+		checkIndefinite(t, l, basis[1].LQ.GeoRep(core.LogicalZ), eng)
+		checkIndefinite(t, l, basis[2].LQ.GeoRep(core.LogicalX), eng)
+	}
+}
+
+func TestCNOTComputationalAction(t *testing.T) {
+	// CNOT |1̄⟩|0̄⟩ → |1̄1̄⟩: Z̄c-out ← Z̄c (−1); Z̄t-out ← Z̄cZ̄t (−1·+1).
+	l := newLayout(t, 2, 2, 2)
+	control, ancilla, target := TileCoord{0, 0}, TileCoord{0, 1}, TileCoord{1, 1}
+	if _, err := l.PrepareZ(control); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Pauli(control, core.LogicalX); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.PrepareZ(target); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.CNOT(control, ancilla, target); err != nil {
+		t.Fatal(err)
+	}
+	_, _, basis := cnotFixture(t, l)
+	eng := run(t, l, 71)
+	tru := true
+	checkRelation(t, l, basis[1].LQ.GeoRep(core.LogicalZ), []core.LogicalTerm{basis[1]}, eng, &tru)
+	checkRelation(t, l, basis[3].LQ.GeoRep(core.LogicalZ), []core.LogicalTerm{basis[1], basis[3]}, eng, &tru)
+}
+
+func TestLayoutValidation(t *testing.T) {
+	l := newLayout(t, 1, 1, 3)
+	a := TileCoord{0, 0}
+	if _, err := l.Idle(a); err == nil {
+		t.Error("Idle on uninitialized tile accepted")
+	}
+	if _, err := l.PrepareZ(TileCoord{5, 5}); err == nil {
+		t.Error("out-of-layout tile accepted")
+	}
+	if _, err := l.PrepareZ(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.PrepareZ(a); err == nil {
+		t.Error("double preparation accepted")
+	}
+}
+
+func TestOutcomeExprStability(t *testing.T) {
+	// The same program with different seeds yields identical formulas
+	// (compile-time determinism) though the record values differ.
+	build := func() (expr.Expr, *Layout) {
+		l := newLayout(t, 2, 1, 2)
+		a, b := TileCoord{0, 0}, TileCoord{1, 0}
+		if _, err := l.PrepareZ(a); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.PrepareZ(b); err != nil {
+			t.Fatal(err)
+		}
+		r, err := l.MeasureXX(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *r.Outcome, l
+	}
+	e1, _ := build()
+	e2, _ := build()
+	if !e1.Equal(e2) {
+		t.Errorf("outcome formulas differ between identical compilations: %v vs %v", e1, e2)
+	}
+}
+
+func TestHadamardRotate(t *testing.T) {
+	// The full Hadamard (transversal H + patch rotation) acts as a logical
+	// Hadamard and returns the patch to the standard arrangement, so it can
+	// be followed immediately by lattice surgery.
+	for _, in := range []struct {
+		prep func(l *Layout) error
+		kind core.LogicalKind
+		want float64
+	}{
+		{func(l *Layout) error { _, err := l.PrepareZ(TileCoord{R: 0, C: 0}); return err }, core.LogicalX, 1},
+		{func(l *Layout) error { _, err := l.PrepareX(TileCoord{R: 0, C: 0}); return err }, core.LogicalZ, 1},
+		{func(l *Layout) error { _, err := l.Inject(TileCoord{R: 0, C: 0}, core.InjectY); return err }, core.LogicalY, -1},
+	} {
+		l := newLayout(t, 1, 1, 3)
+		if err := in.prep(l); err != nil {
+			t.Fatal(err)
+		}
+		a := TileCoord{R: 0, C: 0}
+		r, err := l.HadamardRotate(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TimeSteps != 5 {
+			t.Fatalf("HadamardRotate steps = %d", r.TimeSteps)
+		}
+		tile, _ := l.Tile(a)
+		if tile.LQ.Arr != core.Standard {
+			t.Fatalf("arrangement = %s", tile.LQ.Arr.Name())
+		}
+		eng := run(t, l, 81)
+		if v := tileExp(t, l, a, in.kind, eng); v != in.want {
+			t.Errorf("⟨%v⟩ after rotating Hadamard = %v, want %v", in.kind, v, in.want)
+		}
+	}
+}
+
+func TestHadamardRotateThenSurgery(t *testing.T) {
+	// The point of the rotation: the patch is immediately mergeable again.
+	l := newLayout(t, 2, 1, 3)
+	a, b := TileCoord{0, 0}, TileCoord{1, 0}
+	if _, err := l.PrepareZ(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.HadamardRotate(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.PrepareX(b); err != nil {
+		t.Fatal(err)
+	}
+	// H|0̄⟩ = |+̄⟩ and |+̄⟩: X̄X̄ must measure +1 deterministically.
+	r, err := l.MeasureXX(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := run(t, l, 83)
+	if r.Outcome.Eval(eng.Records()) {
+		t.Error("X̄X̄ on (H|0̄⟩, |+̄⟩) measured −1")
+	}
+}

@@ -1,0 +1,135 @@
+package instr
+
+import (
+	"math/rand"
+	"testing"
+
+	"tiscc/internal/core"
+	"tiscc/internal/hardware"
+	"tiscc/internal/orqcs"
+	"tiscc/internal/pauli"
+)
+
+// TestRandomInstructionPrograms drives random (legal) instruction sequences
+// on a 2×2 tile layout and checks global invariants: the compiled circuit
+// passes the hardware validity checker, every emitted outcome formula
+// evaluates against the simulator's records, and logical time-steps only
+// grow by each instruction's advertised cost.
+func TestRandomInstructionPrograms(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		l, err := NewLayout(2, 2, 2, 2, 1, hardware.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		coords := []TileCoord{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+		var outcomes []Result
+		for step := 0; step < 14; step++ {
+			tc := coords[r.Intn(len(coords))]
+			tile, _ := l.Tile(tc)
+			steps0 := l.LogicalTimeSteps()
+			var res Result
+			var err error
+			if !tile.Initialized() {
+				switch r.Intn(3) {
+				case 0:
+					res, err = l.PrepareZ(tc)
+				case 1:
+					res, err = l.PrepareX(tc)
+				case 2:
+					res, err = l.Inject(tc, core.InjectY)
+				}
+			} else {
+				switch r.Intn(6) {
+				case 0:
+					res, err = l.Idle(tc)
+				case 1:
+					res, err = l.Pauli(tc, []core.LogicalKind{core.LogicalX, core.LogicalY, core.LogicalZ}[r.Intn(3)])
+				case 2:
+					res, err = l.Measure(tc, []pauli.Kind{pauli.Z, pauli.X}[r.Intn(2)])
+				case 3:
+					res, err = l.Hadamard(tc)
+					if err == nil {
+						// Return to the standard arrangement so later joint
+						// measurements stay legal.
+						if _, herr := l.Hadamard(tc); herr != nil {
+							t.Fatal(herr)
+						}
+					}
+				case 4:
+					below := TileCoord{R: tc.R + 1, C: tc.C}
+					bt, terr := l.Tile(below)
+					if terr != nil || !bt.Initialized() || tile.LQ.Arr != core.Standard || bt.LQ.Arr != core.Standard {
+						continue
+					}
+					res, err = l.MeasureXX(tc, below)
+				case 5:
+					right := TileCoord{R: tc.R, C: tc.C + 1}
+					rt, terr := l.Tile(right)
+					if terr != nil || !rt.Initialized() || tile.LQ.Arr != core.Standard || rt.LQ.Arr != core.Standard {
+						continue
+					}
+					res, err = l.MeasureZZ(tc, right)
+				}
+			}
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			if got := l.LogicalTimeSteps() - steps0; got != res.TimeSteps {
+				t.Fatalf("seed %d step %d (%s): accounted %d steps, result says %d",
+					seed, step, res.Name, got, res.TimeSteps)
+			}
+			if res.Outcome != nil {
+				outcomes = append(outcomes, res)
+			}
+		}
+		circ := l.Circuit()
+		if err := hardware.Validate(l.C.G, circ); err != nil {
+			t.Fatalf("seed %d: validity: %v", seed, err)
+		}
+		eng, err := orqcs.RunOnce(circ, seed*17+3)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, res := range outcomes {
+			if res.Outcome.HasVirtual() {
+				continue
+			}
+			// Every formula must be evaluable against the record table.
+			_ = res.Outcome.Eval(eng.Records())
+		}
+	}
+}
+
+// TestLargeCircuitTextRoundTrip serializes a full multi-instruction circuit
+// to the TISCC textual form, re-parses it, and verifies the simulation is
+// identical (same records under the same seed).
+func TestLargeCircuitTextRoundTrip(t *testing.T) {
+	l, err := NewLayout(2, 1, 3, 3, 2, hardware.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.BellPrep(TileCoord{R: 0, C: 0}, TileCoord{R: 1, C: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.BellMeasure(TileCoord{R: 0, C: 0}, TileCoord{R: 1, C: 0}); err != nil {
+		t.Fatal(err)
+	}
+	circ := l.Circuit()
+	direct, err := orqcs.RunOnce(circ, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaText, err := orqcs.RunText(circ.String(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, v := range direct.Records() {
+		if id < 0 {
+			continue
+		}
+		if viaText.Records()[id] != v {
+			t.Fatalf("record %d differs between direct and text-parsed runs", id)
+		}
+	}
+}

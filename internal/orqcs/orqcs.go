@@ -1,0 +1,316 @@
+// Package orqcs is this repository's substitute for the Oak Ridge
+// Quasi-Clifford Simulator used to verify TISCC output (paper Sec 4). It
+// implements a parser and hardware model for the TISCC instruction stream:
+// circuit events, written in terms of native gates acting on trapping-zone
+// sites, are interpreted as unitary operations on a stabilizer state, with
+// ion movement tracked so that gates always address the ion currently
+// resting at a site.
+//
+// Non-Clifford gates (Z_{±π/8}) are handled exactly as described in Sec 4.1:
+// the T-gate channel is decomposed into Clifford channels with
+// quasi-probability weights,
+//
+//	TρT† = ½ρ − (√2−1)/2 · ZρZ + (1/√2) · SρS†   (negativity γ = √2),
+//
+// and each simulation shot samples one branch per non-Clifford gate,
+// weighting the shot by γ·sign. Expectation values of Pauli strings are then
+// Monte-Carlo averages over shots.
+package orqcs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tiscc/internal/circuit"
+	"tiscc/internal/grid"
+	"tiscc/internal/pauli"
+	"tiscc/internal/tableau"
+)
+
+// Engine holds the state of one simulation shot.
+type Engine struct {
+	tb      *tableau.T
+	qubitAt map[grid.Site]int
+	n       int
+	weight  float64
+	rng     *rand.Rand
+}
+
+// walkPositions drives the movement semantics shared by the counting pass
+// and the execution pass. birth is called when a site hosts an ion for the
+// first time; exec (optional) is called for every event with the resolved
+// qubit indices (q2 = -1 for one-site gates).
+func walkPositions(c *circuit.Circuit, birth func(grid.Site) int, exec func(e circuit.Event, q1, q2 int) error) error {
+	events := append([]circuit.Event(nil), c.Events...)
+	cc := circuit.Circuit{Events: events}
+	cc.SortByTime()
+	at := map[grid.Site]int{}
+	touched := map[grid.Site]bool{}
+	get := func(s grid.Site, allowReload bool) (int, error) {
+		if q, ok := at[s]; ok {
+			return q, nil
+		}
+		if touched[s] && !allowReload {
+			return -1, fmt.Errorf("orqcs: event on vacated site %v", s)
+		}
+		// Prepare_Z may (re)load an ion at a currently empty site (seam
+		// qubits and relocated measure qubits are loaded mid-circuit).
+		q := birth(s)
+		at[s], touched[s] = q, true
+		return q, nil
+	}
+	for _, e := range cc.Events {
+		switch e.Gate {
+		case circuit.Move:
+			q, err := get(e.S1, false)
+			if err != nil {
+				return err
+			}
+			if _, occ := at[e.S2]; occ {
+				return fmt.Errorf("orqcs: move into occupied site %v", e.S2)
+			}
+			delete(at, e.S1)
+			at[e.S2], touched[e.S2] = q, true
+			if exec != nil {
+				if err := exec(e, q, -1); err != nil {
+					return err
+				}
+			}
+		case circuit.ZZ, circuit.MergeWells, circuit.SplitWells, circuit.Cool:
+			q1, err := get(e.S1, false)
+			if err != nil {
+				return err
+			}
+			q2, err := get(e.S2, false)
+			if err != nil {
+				return err
+			}
+			if exec != nil {
+				if err := exec(e, q1, q2); err != nil {
+					return err
+				}
+			}
+		default:
+			q, err := get(e.S1, e.Gate == circuit.PrepareZ)
+			if err != nil {
+				return err
+			}
+			if exec != nil {
+				if err := exec(e, q, -1); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CountIons returns the number of distinct ions a circuit references.
+func CountIons(c *circuit.Circuit) (int, error) {
+	n := 0
+	err := walkPositions(c, func(grid.Site) int { n++; return n - 1 }, nil)
+	return n, err
+}
+
+// New prepares an engine able to run the circuit (all ions start in |0⟩).
+func New(c *circuit.Circuit, seed int64) (*Engine, error) {
+	n, err := CountIons(c)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Engine{
+		tb:      tableau.New(n, rng),
+		qubitAt: map[grid.Site]int{},
+		weight:  1,
+		rng:     rng,
+	}, nil
+}
+
+// Run executes the circuit on the engine. It may be called once per engine.
+func (e *Engine) Run(c *circuit.Circuit) error {
+	next := 0
+	birth := func(s grid.Site) int {
+		q := next
+		next++
+		e.qubitAt[s] = q
+		return q
+	}
+	return walkPositions(c, birth, func(ev circuit.Event, q1, q2 int) error {
+		switch ev.Gate {
+		case circuit.Move:
+			// Keep the engine's site map in sync (walkPositions tracks its own).
+			delete(e.qubitAt, ev.S1)
+			e.qubitAt[ev.S2] = q1
+			return nil
+		case circuit.PrepareZ:
+			e.tb.Reset(q1)
+		case circuit.MeasureZ:
+			e.tb.MeasurePauli(pauli.Single(e.tb.N(), q1, pauli.Z), ev.Record)
+		case circuit.XPi2:
+			e.tb.X(q1)
+		case circuit.XPi4:
+			e.tb.SqrtX(q1)
+		case circuit.XmPi4:
+			e.tb.SqrtXDg(q1)
+		case circuit.YPi2:
+			e.tb.Y(q1)
+		case circuit.YPi4:
+			e.tb.SqrtY(q1)
+		case circuit.YmPi4:
+			e.tb.SqrtYDg(q1)
+		case circuit.ZPi2:
+			e.tb.Z(q1)
+		case circuit.ZPi4:
+			e.tb.S(q1)
+		case circuit.ZmPi4:
+			e.tb.Sdg(q1)
+		case circuit.ZPi8, circuit.ZmPi8:
+			e.sampleT(q1, ev.Gate == circuit.ZPi8)
+		case circuit.ZZ:
+			e.tb.ZZ(q1, q2)
+		case circuit.MergeWells, circuit.SplitWells, circuit.Cool:
+			// Well reconfiguration and cooling act trivially on the
+			// computational state.
+		default:
+			return fmt.Errorf("orqcs: unknown gate %q", ev.Gate)
+		}
+		return nil
+	})
+}
+
+// sampleT applies one quasi-probability branch of the T (or T†) channel.
+func (e *Engine) sampleT(q int, positive bool) {
+	const (
+		pI = 0.3535533905932738  // (1/2)/√2
+		pZ = 0.14644660940672624 // ((√2−1)/2)/√2
+	)
+	gamma := math.Sqrt2
+	u := e.rng.Float64()
+	switch {
+	case u < pI:
+		e.weight *= gamma // + sign, identity branch
+	case u < pI+pZ:
+		e.tb.Z(q)
+		e.weight *= -gamma // negative quasi-probability branch
+	default:
+		if positive {
+			e.tb.S(q)
+		} else {
+			e.tb.Sdg(q)
+		}
+		e.weight *= gamma
+	}
+}
+
+// Weight returns the accumulated quasi-probability weight of this shot
+// (1 for Clifford-only circuits).
+func (e *Engine) Weight() float64 { return e.weight }
+
+// Records returns the measurement-record table produced by the run.
+func (e *Engine) Records() map[int32]bool { return e.tb.Records() }
+
+// QubitAt resolves the tableau qubit of the ion currently resting at s.
+func (e *Engine) QubitAt(s grid.Site) (int, bool) {
+	q, ok := e.qubitAt[s]
+	return q, ok
+}
+
+// SitePauli describes a Pauli operator keyed by trapping-zone site.
+type SitePauli map[grid.Site]pauli.Kind
+
+// pauliFor builds the tableau-indexed Pauli string for a site-keyed operator.
+func (e *Engine) pauliFor(op SitePauli) (*pauli.String, error) {
+	p := pauli.NewString(e.tb.N())
+	for s, k := range op {
+		q, ok := e.qubitAt[s]
+		if !ok {
+			return nil, fmt.Errorf("orqcs: no ion at site %v", s)
+		}
+		p.SetKind(q, k)
+	}
+	return p, nil
+}
+
+// Expectation returns the exact expectation (+1/−1/0) of a site-keyed Pauli
+// string in this shot's final state (unweighted).
+func (e *Engine) Expectation(op SitePauli) (float64, error) {
+	p, err := e.pauliFor(op)
+	if err != nil {
+		return 0, err
+	}
+	return e.tb.ExpectationValue(p), nil
+}
+
+// SignedExpectation is Expectation with an extra (−1)^neg flip, convenient
+// for operators carrying a tracked sign.
+func (e *Engine) SignedExpectation(op SitePauli, neg bool) (float64, error) {
+	v, err := e.Expectation(op)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// Tableau exposes the underlying stabilizer state (for layer-by-layer
+// verification in the style of paper Sec 4.3).
+func (e *Engine) Tableau() *tableau.T { return e.tb }
+
+// RunOnce parses nothing and runs a single shot of a circuit; convenience
+// constructor used throughout verification.
+func RunOnce(c *circuit.Circuit, seed int64) (*Engine, error) {
+	e, err := New(c, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Run(c); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// RunText parses the textual circuit form (as emitted by circuit.String)
+// and runs a single shot: the parser-plus-hardware-model entry point that
+// mirrors how ORQCS consumes TISCC output files.
+func RunText(text string, seed int64) (*Engine, error) {
+	c, err := circuit.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return RunOnce(c, seed)
+}
+
+// Estimate computes a Monte-Carlo estimate of ⟨op⟩ after the circuit, using
+// the quasi-probability sampler for any non-Clifford gates. It returns the
+// mean and the standard error of the mean. For Clifford-only circuits with a
+// deterministic expectation, a single shot suffices and stderr is 0.
+func Estimate(c *circuit.Circuit, op SitePauli, shots int, seed int64) (mean, stderr float64, err error) {
+	var sum, sumSq float64
+	for i := 0; i < shots; i++ {
+		e, err := RunOnce(c, seed+int64(i)*7919)
+		if err != nil {
+			return 0, 0, err
+		}
+		v, err := e.Expectation(op)
+		if err != nil {
+			return 0, 0, err
+		}
+		x := e.Weight() * v
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(shots)
+	mean = sum / n
+	if shots > 1 {
+		varr := (sumSq - sum*sum/n) / (n - 1)
+		if varr < 0 {
+			varr = 0
+		}
+		stderr = math.Sqrt(varr / n)
+	}
+	return mean, stderr, nil
+}

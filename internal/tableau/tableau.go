@@ -1,0 +1,486 @@
+// Package tableau implements an Aaronson–Gottesman stabilizer tableau whose
+// phase bits are symbolic XOR expressions over measurement-record indices.
+//
+// A single engine serves two roles in this repository, mirroring the paper's
+// TISCC/ORQCS pair:
+//
+//   - concrete mode (with an RNG): a quasi-Clifford simulator in the style of
+//     ORQCS; random measurement outcomes are sampled and recorded, and
+//     Pauli-string expectation values can be queried exactly;
+//   - symbolic mode (no RNG): the compiler-side tracker; measurement outcomes
+//     stay symbolic, so every stabilizer sign and logical-operator value is
+//     maintained as a formula over hardware measurement records. These
+//     formulas are the post-processing recipes of TISCC Sec 4.5.
+//
+// Rows store Paulis as i^K · X^x · Z^z with K an exponent of i modulo 4 kept
+// exactly, plus a symbolic (−1)^Sym factor. Keeping the full i-exponent (as
+// opposed to CHP's normalized sign bit) makes every gate update a pure bit
+// operation with no phase-lookup table.
+package tableau
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tiscc/internal/expr"
+	"tiscc/internal/pauli"
+)
+
+// Row is one tableau row: the Pauli i^K (−1)^Sym X^x Z^z.
+type Row struct {
+	X, Z pauli.Bits
+	K    uint8 // exponent of i, mod 4
+	Sym  expr.Expr
+}
+
+// Pauli converts the row's concrete part to a pauli.String (Sym excluded).
+func (r *Row) Pauli(n int) *pauli.String {
+	return &pauli.String{N: n, XBits: r.X.Clone(), ZBits: r.Z.Clone(), Phase: r.K % 4}
+}
+
+// T is the tableau. Rows 0..n-1 are destabilizers, n..2n-1 stabilizers.
+// Observable rows are tracked separately: they transform under gates and
+// measurements but are never used as stabilizers.
+type T struct {
+	n      int
+	destab []Row
+	stab   []Row
+	obs    []Row
+
+	rng         *rand.Rand // nil → symbolic mode
+	records     map[int32]bool
+	scratch     Row
+	nextVirtual int32
+}
+
+// New returns a tableau over n qubits, all initialized to |0⟩. If rng is
+// nil the tableau runs in symbolic mode.
+func New(n int, rng *rand.Rand) *T {
+	t := &T{n: n, rng: rng, records: make(map[int32]bool)}
+	// Disjoint virtual-id ranges: concrete mode uses even negatives,
+	// symbolic mode odd ones.
+	if rng != nil {
+		t.nextVirtual = -2
+	} else {
+		t.nextVirtual = -1
+	}
+	t.destab = make([]Row, n)
+	t.stab = make([]Row, n)
+	for i := 0; i < n; i++ {
+		t.destab[i] = Row{X: pauli.NewBits(n), Z: pauli.NewBits(n)}
+		t.destab[i].X.Set(i, true)
+		t.stab[i] = Row{X: pauli.NewBits(n), Z: pauli.NewBits(n)}
+		t.stab[i].Z.Set(i, true)
+	}
+	t.scratch = Row{X: pauli.NewBits(n), Z: pauli.NewBits(n)}
+	return t
+}
+
+// N returns the number of qubits.
+func (t *T) N() int { return t.n }
+
+// Symbolic reports whether the tableau runs in symbolic mode.
+func (t *T) Symbolic() bool { return t.rng == nil }
+
+// Records exposes the record table (concrete mode fills it with sampled and
+// derived bits; symbolic mode leaves it empty).
+func (t *T) Records() map[int32]bool { return t.records }
+
+// Clone returns a deep copy sharing no state. The RNG is not cloned; pass
+// the RNG to use in the copy (may be nil for symbolic).
+func (t *T) Clone(rng *rand.Rand) *T {
+	c := &T{n: t.n, rng: rng, records: make(map[int32]bool, len(t.records)), nextVirtual: t.nextVirtual}
+	cloneRows := func(rs []Row) []Row {
+		out := make([]Row, len(rs))
+		for i, r := range rs {
+			out[i] = Row{X: r.X.Clone(), Z: r.Z.Clone(), K: r.K, Sym: r.Sym.Xor(expr.Zero())}
+		}
+		return out
+	}
+	c.destab = cloneRows(t.destab)
+	c.stab = cloneRows(t.stab)
+	c.obs = cloneRows(t.obs)
+	for k, v := range t.records {
+		c.records[k] = v
+	}
+	c.scratch = Row{X: pauli.NewBits(t.n), Z: pauli.NewBits(t.n)}
+	return c
+}
+
+// forEachRow applies f to every row, including observables.
+func (t *T) forEachRow(f func(r *Row)) {
+	for i := range t.destab {
+		f(&t.destab[i])
+	}
+	for i := range t.stab {
+		f(&t.stab[i])
+	}
+	for i := range t.obs {
+		f(&t.obs[i])
+	}
+}
+
+// --- Gates -----------------------------------------------------------------
+
+// H applies a Hadamard on qubit q.
+func (t *T) H(q int) {
+	t.forEachRow(func(r *Row) {
+		x, z := r.X.Get(q), r.Z.Get(q)
+		if x && z {
+			r.K = (r.K + 2) % 4
+		}
+		r.X.Set(q, z)
+		r.Z.Set(q, x)
+	})
+}
+
+// S applies the phase gate (≡ Z_{π/4} up to global phase) on qubit q.
+func (t *T) S(q int) {
+	t.forEachRow(func(r *Row) {
+		if r.X.Get(q) {
+			r.K = (r.K + 1) % 4
+			r.Z.Flip(q)
+		}
+	})
+}
+
+// Sdg applies the inverse phase gate on qubit q.
+func (t *T) Sdg(q int) { t.S(q); t.S(q); t.S(q) }
+
+// X applies Pauli X on qubit q.
+func (t *T) X(q int) {
+	t.forEachRow(func(r *Row) {
+		if r.Z.Get(q) {
+			r.K = (r.K + 2) % 4
+		}
+	})
+}
+
+// Z applies Pauli Z on qubit q.
+func (t *T) Z(q int) {
+	t.forEachRow(func(r *Row) {
+		if r.X.Get(q) {
+			r.K = (r.K + 2) % 4
+		}
+	})
+}
+
+// Y applies Pauli Y on qubit q.
+func (t *T) Y(q int) {
+	t.forEachRow(func(r *Row) {
+		if r.X.Get(q) != r.Z.Get(q) {
+			r.K = (r.K + 2) % 4
+		}
+	})
+}
+
+// CX applies a CNOT with control c and target d. In the i^K representation
+// the update is phase-free: x_d ^= x_c, z_c ^= z_d.
+func (t *T) CX(c, d int) {
+	t.forEachRow(func(r *Row) {
+		if r.X.Get(c) {
+			r.X.Flip(d)
+		}
+		if r.Z.Get(d) {
+			r.Z.Flip(c)
+		}
+	})
+}
+
+// CZ applies a controlled-Z between a and b.
+func (t *T) CZ(a, b int) { t.H(b); t.CX(a, b); t.H(b) }
+
+// SqrtX applies X_{π/4} = e^{-iπX/4} (conjugation: Z→Y, Y→−Z).
+func (t *T) SqrtX(q int) {
+	t.forEachRow(func(r *Row) {
+		if r.Z.Get(q) {
+			r.K = (r.K + 1) % 4
+			r.X.Flip(q)
+		}
+	})
+}
+
+// SqrtXDg applies X_{-π/4} (conjugation: Z→−Y, Y→Z).
+func (t *T) SqrtXDg(q int) {
+	t.forEachRow(func(r *Row) {
+		if r.Z.Get(q) {
+			r.K = (r.K + 3) % 4
+			r.X.Flip(q)
+		}
+	})
+}
+
+// SqrtY applies Y_{π/4} = e^{-iπY/4} (conjugation: X→−Z, Z→X).
+func (t *T) SqrtY(q int) {
+	t.forEachRow(func(r *Row) {
+		x, z := r.X.Get(q), r.Z.Get(q)
+		if x && !z {
+			r.K = (r.K + 2) % 4
+		}
+		r.X.Set(q, z)
+		r.Z.Set(q, x)
+	})
+}
+
+// SqrtYDg applies Y_{-π/4} (conjugation: X→Z, Z→−X).
+func (t *T) SqrtYDg(q int) {
+	t.forEachRow(func(r *Row) {
+		x, z := r.X.Get(q), r.Z.Get(q)
+		if !x && z {
+			r.K = (r.K + 2) % 4
+		}
+		r.X.Set(q, z)
+		r.Z.Set(q, x)
+	})
+}
+
+// ZZ applies the native two-qubit entangling gate e^{-iπ Z⊗Z/4}.
+func (t *T) ZZ(a, b int) { t.CX(a, b); t.S(b); t.CX(a, b) }
+
+// --- Row algebra ------------------------------------------------------------
+
+// mulInto sets dst ← src · dst (apply dst first, then src), tracking phase
+// exactly: (i^a X^{xa} Z^{za})(i^b X^{xb} Z^{zb}) picks up (−1)^{za·xb}.
+func mulInto(dst, src *Row) {
+	sign := src.Z.AndCount(dst.X) % 2
+	dst.K = (dst.K + src.K + uint8(sign)*2) % 4
+	dst.X.Xor(src.X)
+	dst.Z.Xor(src.Z)
+	dst.Sym = dst.Sym.Xor(src.Sym)
+}
+
+// anticommutes reports whether row r anticommutes with the Pauli p.
+func anticommutes(r *Row, p *pauli.String) bool {
+	return (r.X.AndCount(p.ZBits)+r.Z.AndCount(p.XBits))%2 == 1
+}
+
+// --- Measurement ------------------------------------------------------------
+
+// Outcome describes one measurement.
+type Outcome struct {
+	Record        int32     // record index assigned to this measurement
+	Deterministic bool      // whether the outcome was forced by the state
+	Expr          expr.Expr // value as a formula (== {Record} always valid)
+	Derived       expr.Expr // for deterministic outcomes: value in terms of earlier records
+}
+
+// Value returns the concrete bit of the outcome in concrete mode.
+func (t *T) Value(o Outcome) bool { return t.records[o.Record] }
+
+// MeasurePauli measures the Hermitian Pauli p, assigning record index rec.
+// In concrete mode the sampled/derived bit is stored in the record table.
+// The returned Outcome.Expr is always expr.FromID(rec).
+func (t *T) MeasurePauli(p *pauli.String, rec int32) Outcome {
+	if !p.Hermitian() {
+		panic("tableau: measuring non-Hermitian Pauli " + p.String())
+	}
+	// Find an anticommuting stabilizer.
+	ip := -1
+	for i := 0; i < t.n; i++ {
+		if anticommutes(&t.stab[i], p) {
+			ip = i
+			break
+		}
+	}
+	if ip < 0 {
+		// Deterministic outcome.
+		derived := t.deterministicValue(p)
+		out := Outcome{Record: rec, Deterministic: true, Expr: expr.FromID(rec), Derived: derived}
+		if t.rng != nil {
+			t.records[rec] = derived.Eval(t.records)
+		}
+		return out
+	}
+	// Random outcome.
+	var sym expr.Expr
+	if t.rng != nil {
+		bit := t.rng.Intn(2) == 1
+		t.records[rec] = bit
+		sym = expr.FromConst(bit)
+	} else {
+		sym = expr.FromID(rec)
+	}
+	old := Row{X: t.stab[ip].X.Clone(), Z: t.stab[ip].Z.Clone(), K: t.stab[ip].K, Sym: t.stab[ip].Sym}
+	// Fix every other anticommuting row by multiplying in the old stabilizer.
+	for i := range t.destab {
+		if anticommutes(&t.destab[i], p) {
+			mulInto(&t.destab[i], &old)
+		}
+	}
+	for i := range t.stab {
+		if i != ip && anticommutes(&t.stab[i], p) {
+			mulInto(&t.stab[i], &old)
+		}
+	}
+	for i := range t.obs {
+		if anticommutes(&t.obs[i], p) {
+			mulInto(&t.obs[i], &old)
+		}
+	}
+	// Old stabilizer becomes the destabilizer of the new one.
+	t.destab[ip] = old
+	// New stabilizer is (−1)^outcome · p.
+	t.stab[ip] = Row{X: p.XBits.Clone(), Z: p.ZBits.Clone(), K: p.Phase % 4, Sym: sym}
+	return Outcome{Record: rec, Deterministic: false, Expr: expr.FromID(rec)}
+}
+
+// deterministicValue computes the value expression of a Pauli p that
+// commutes with every stabilizer: the bit b with p|ψ⟩ = (−1)^b|ψ⟩.
+func (t *T) deterministicValue(p *pauli.String) expr.Expr {
+	sc := &t.scratch
+	for i := range sc.X {
+		sc.X[i], sc.Z[i] = 0, 0
+	}
+	sc.K, sc.Sym = 0, expr.Zero()
+	for i := 0; i < t.n; i++ {
+		if anticommutes(&t.destab[i], p) {
+			mulInto(sc, &t.stab[i])
+		}
+	}
+	if !sc.X.Equal(p.XBits) || !sc.Z.Equal(p.ZBits) {
+		panic("tableau: deterministic reconstruction failed (operator not in group?)")
+	}
+	// scratch = i^{ks}(−1)^{sym} X^x Z^z stabilizes; p = i^{kp} X^x Z^z.
+	// p|ψ⟩ = i^{kp−ks}(−1)^{sym}|ψ⟩.
+	d := (int(p.Phase) - int(sc.K) + 8) % 4
+	switch d {
+	case 0:
+		return sc.Sym
+	case 2:
+		return sc.Sym.XorConst(true)
+	}
+	panic("tableau: non-real deterministic phase")
+}
+
+// Expectation returns (defined, value) for the Hermitian Pauli p: defined is
+// false when p anticommutes with some stabilizer (⟨p⟩ = 0); otherwise value
+// is the ±1 sign as a bit expression (true = −1).
+func (t *T) Expectation(p *pauli.String) (bool, expr.Expr) {
+	for i := 0; i < t.n; i++ {
+		if anticommutes(&t.stab[i], p) {
+			return false, expr.Zero()
+		}
+	}
+	return true, t.deterministicValue(p)
+}
+
+// ExpectationValue returns the expectation of p in concrete mode as a float:
+// +1, −1 or 0.
+func (t *T) ExpectationValue(p *pauli.String) float64 {
+	ok, e := t.Expectation(p)
+	if !ok {
+		return 0
+	}
+	if e.Eval(t.records) {
+		return -1
+	}
+	return 1
+}
+
+// VirtualID allocates a fresh negative record id for an implicit
+// measurement whose value no hardware record reports (reset collapses,
+// non-Clifford injections). Concrete and symbolic tableaus draw from
+// disjoint ranges (even vs odd) so that a formula built against one can
+// never silently evaluate against the other's record table.
+func (t *T) VirtualID() int32 {
+	t.nextVirtual -= 2
+	return t.nextVirtual + 2
+}
+
+// Reset forces qubit q into |0⟩ (hardware Prepare_Z semantics: previous
+// state is discarded). It is implemented as an implicit Z measurement
+// followed by a classically conditioned X flip, so that rows sharing Z
+// content with the reset qubit keep consistent signs; the implicit outcome
+// is recorded under a virtual (negative) id.
+func (t *T) Reset(q int) {
+	zq := pauli.Single(t.n, q, pauli.Z)
+	rec := t.VirtualID()
+	o := t.MeasurePauli(zq, rec)
+	var e expr.Expr
+	switch {
+	case t.rng != nil:
+		e = expr.FromConst(t.records[rec])
+	case o.Deterministic:
+		e = o.Derived
+	default:
+		e = expr.FromID(rec)
+	}
+	t.ConditionalPauli(pauli.Single(t.n, q, pauli.X), e)
+}
+
+// ConditionalPauli applies the Pauli p conditioned on the (symbolic) bit e:
+// every row anticommuting with p has its sign multiplied by (−1)^e. With a
+// constant-true e this is an ordinary Pauli gate; with a record expression
+// it implements classically controlled corrections; with a virtual id it
+// marks a value as symbolically unknown.
+func (t *T) ConditionalPauli(p *pauli.String, e expr.Expr) {
+	t.forEachRow(func(r *Row) {
+		if anticommutes(r, p) {
+			r.Sym = r.Sym.Xor(e)
+		}
+	})
+}
+
+// Swap exchanges the states of qubits a and b (three CNOTs).
+func (t *T) Swap(a, b int) { t.CX(a, b); t.CX(b, a); t.CX(a, b) }
+
+// --- Observables ------------------------------------------------------------
+
+// AddObservable registers a Pauli to be tracked through subsequent gates and
+// measurements; returns its handle.
+func (t *T) AddObservable(p *pauli.String) int {
+	t.obs = append(t.obs, Row{X: p.XBits.Clone(), Z: p.ZBits.Clone(), K: p.Phase % 4})
+	return len(t.obs) - 1
+}
+
+// Observable returns the current form of observable h: the Pauli content and
+// the accumulated correction expression (true meaning an extra −1), i.e.
+// the original observable now equals (−1)^corr × returned Pauli.
+func (t *T) Observable(h int) (*pauli.String, expr.Expr) {
+	r := t.obs[h]
+	return r.Pauli(t.n), r.Sym
+}
+
+// ObservableXorSign folds an extra sign term into a tracked observable.
+// Patch-level code uses this to compensate deliberate logical-frame changes
+// (e.g. an applied logical Pauli) so that the observable's correction keeps
+// carrying only measurement-induced terms.
+func (t *T) ObservableXorSign(h int, e expr.Expr) {
+	t.obs[h].Sym = t.obs[h].Sym.Xor(e)
+}
+
+// StabilizerStrings returns the current stabilizer generators (concrete part
+// only) for inspection; used by layer-by-layer verification tests.
+func (t *T) StabilizerStrings() []*pauli.String {
+	out := make([]*pauli.String, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.stab[i].Pauli(t.n)
+	}
+	return out
+}
+
+// StabilizerSym returns the symbolic sign expression of stabilizer row i.
+func (t *T) StabilizerSym(i int) expr.Expr { return t.stab[i].Sym }
+
+// CheckInvariants panics if the tableau violates its structural invariants
+// (destabilizer/stabilizer pairing and mutual commutation). Used in tests.
+func (t *T) CheckInvariants() error {
+	for i := 0; i < t.n; i++ {
+		pi := t.stab[i].Pauli(t.n)
+		if !pi.Hermitian() {
+			return fmt.Errorf("stabilizer %d has non-Hermitian phase: %s", i, pi)
+		}
+		for j := 0; j < t.n; j++ {
+			pj := t.stab[j].Pauli(t.n)
+			if !pi.Commutes(pj) {
+				return fmt.Errorf("stabilizers %d and %d anticommute", i, j)
+			}
+			dj := t.destab[j].Pauli(t.n)
+			com := pi.Commutes(dj)
+			if (i == j) == com {
+				return fmt.Errorf("destabilizer pairing violated at (%d,%d)", i, j)
+			}
+		}
+	}
+	return nil
+}

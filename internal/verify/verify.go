@@ -1,0 +1,518 @@
+// Package verify orchestrates the verification workflows of TISCC Sec 4:
+// compiled hardware circuits are executed on the quasi-Clifford simulator
+// (internal/orqcs) and the results are reduced — with the compiler's
+// measurement-record formulas — to logical-subspace state and process
+// tomography, which is compared against ideal expectations. This mirrors
+// the paper's TISCC↔ORQCS verification loop.
+package verify
+
+import (
+	"fmt"
+
+	"tiscc/internal/core"
+	"tiscc/internal/hardware"
+	"tiscc/internal/orqcs"
+	"tiscc/internal/tomo"
+)
+
+// PrepKind selects a verified logical state preparation.
+type PrepKind int
+
+// Input preparations (the informationally complete set plus |1⟩ and |T⟩).
+const (
+	PrepZero PrepKind = iota
+	PrepOne
+	PrepPlus
+	PrepMinus
+	PrepY
+	PrepT
+)
+
+func (p PrepKind) String() string {
+	return [...]string{"|0>", "|1>", "|+>", "|->", "|Y>", "|T>"}[p]
+}
+
+// Ideal returns the prepared state's Bloch vector.
+func (p PrepKind) Ideal() tomo.Bloch {
+	switch p {
+	case PrepZero:
+		return tomo.StateZero
+	case PrepOne:
+		return tomo.StateOne
+	case PrepPlus:
+		return tomo.StatePlus
+	case PrepMinus:
+		return tomo.Bloch{-1, 0, 0}
+	case PrepY:
+		return tomo.StateYPos
+	case PrepT:
+		return tomo.StateT
+	}
+	panic("bad prep")
+}
+
+// OneTileOp selects a verified one-tile operation.
+type OneTileOp int
+
+// One-tile operations verified by process tomography (paper Sec 4.3).
+const (
+	OpIdle OneTileOp = iota
+	OpHadamard
+	OpPauliX
+	OpPauliY
+	OpPauliZ
+	OpFlipPatch
+	OpMoveRightSwapLeft
+	OpExtendContract
+)
+
+func (o OneTileOp) String() string {
+	return [...]string{"Idle", "Hadamard", "PauliX", "PauliY", "PauliZ",
+		"FlipPatch", "MoveRight+SwapLeft", "Extend+Contract"}[o]
+}
+
+// Ideal returns the operation's ideal logical channel.
+func (o OneTileOp) Ideal() tomo.Channel {
+	switch o {
+	case OpHadamard:
+		return tomo.IdealHadamard
+	case OpPauliX:
+		return tomo.IdealPauliX
+	case OpPauliY:
+		return tomo.IdealPauliY
+	case OpPauliZ:
+		return tomo.IdealPauliZ
+	}
+	return tomo.IdealIdentity
+}
+
+// newPatch builds a compiler and patch sized for one-tile operations
+// (including extension and translation headroom).
+func newPatch(dx, dz int, arr core.Arrangement) (*core.Compiler, *core.LogicalQubit, error) {
+	c := core.NewCompiler(dz+8, dx+7, hardware.Default())
+	lq, err := c.NewLogicalQubit(dx, dz, core.Cell{R: 1, C: 2})
+	if err != nil {
+		return nil, nil, err
+	}
+	lq.SetArrangement(arr)
+	return c, lq, nil
+}
+
+// prepare compiles the input state preparation (Clifford preps only; use
+// InjectTBloch for |T⟩).
+func prepare(lq *core.LogicalQubit, p PrepKind) error {
+	switch p {
+	case PrepZero:
+		lq.TransversalPrepareZ()
+	case PrepOne:
+		lq.TransversalPrepareZ()
+		lq.ApplyPauli(core.LogicalX)
+	case PrepPlus:
+		lq.TransversalPrepareX()
+	case PrepMinus:
+		lq.TransversalPrepareX()
+		lq.ApplyPauli(core.LogicalZ)
+	case PrepY:
+		lq.InjectState(core.InjectY)
+	case PrepT:
+		lq.InjectState(core.InjectT)
+	default:
+		return fmt.Errorf("verify: unsupported preparation %v", p)
+	}
+	return nil
+}
+
+// BlochOf evaluates the corrected logical Bloch vector of a patch on a
+// finished simulation run (0 components for undetermined operators, after
+// checking the simulator agrees).
+func BlochOf(c *core.Compiler, lq *core.LogicalQubit, eng *orqcs.Engine) (tomo.Bloch, error) {
+	var b tomo.Bloch
+	for i, k := range []core.LogicalKind{core.LogicalX, core.LogicalY, core.LogicalZ} {
+		lv, err := lq.LogicalValueOf(k)
+		site, neg := c.SitePauli(lv.Rep)
+		v, eerr := eng.Expectation(site)
+		if eerr != nil {
+			return b, eerr
+		}
+		switch {
+		case err == core.ErrUndetermined:
+			if v != 0 {
+				return b, fmt.Errorf("verify: %v undetermined but simulator gives %v", k, v)
+			}
+		case err != nil:
+			return b, err
+		default:
+			if neg {
+				v = -v
+			}
+			if lv.Sign.HasVirtual() {
+				// Value depends on an injected unknown — expectation is the
+				// raw simulator value (uncorrectable single shot).
+				return b, fmt.Errorf("verify: %v depends on virtual records", k)
+			}
+			if lv.Sign.Eval(eng.Records()) {
+				v = -v
+			}
+		}
+		b[i] = v
+	}
+	return b, nil
+}
+
+// StatePrep compiles a state preparation (optionally followed by a round of
+// syndrome extraction), simulates it and returns the measured logical Bloch
+// vector (paper Sec 4.2).
+func StatePrep(dx, dz int, arr core.Arrangement, p PrepKind, withRound bool, seed int64) (tomo.Bloch, error) {
+	c, lq, err := newPatch(dx, dz, arr)
+	if err != nil {
+		return tomo.Bloch{}, err
+	}
+	if err := prepare(lq, p); err != nil {
+		return tomo.Bloch{}, err
+	}
+	if withRound {
+		if _, err := lq.Idle(1); err != nil {
+			return tomo.Bloch{}, err
+		}
+	}
+	eng, err := orqcs.RunOnce(c.Build(), seed)
+	if err != nil {
+		return tomo.Bloch{}, err
+	}
+	return BlochOf(c, lq, eng)
+}
+
+// applyOp compiles a one-tile operation onto an initialized patch.
+func applyOp(lq *core.LogicalQubit, op OneTileOp, rounds int) error {
+	switch op {
+	case OpIdle:
+		_, err := lq.Idle(rounds)
+		return err
+	case OpHadamard:
+		lq.TransversalHadamard()
+		_, err := lq.Idle(rounds)
+		return err
+	case OpPauliX:
+		lq.ApplyPauli(core.LogicalX)
+	case OpPauliY:
+		lq.ApplyPauli(core.LogicalY)
+	case OpPauliZ:
+		lq.ApplyPauli(core.LogicalZ)
+	case OpFlipPatch:
+		return lq.FlipPatch(rounds)
+	case OpMoveRightSwapLeft:
+		if err := lq.MoveRight(rounds); err != nil {
+			return err
+		}
+		return lq.SwapLeft()
+	case OpExtendContract:
+		if _, err := lq.ExtendDown(2, rounds); err != nil {
+			return err
+		}
+		_, err := lq.ContractFromBottom(2)
+		return err
+	}
+	return nil
+}
+
+// OneTileChannel reconstructs the logical channel of a one-tile operation
+// by single-qubit process tomography over the informationally complete
+// input set (paper Sec 4.3). Expectations are exact, so the result should
+// equal the ideal channel exactly for correct compilations.
+func OneTileChannel(dx, dz int, arr core.Arrangement, op OneTileOp, rounds int, seed int64) (tomo.Channel, error) {
+	outs := make([]tomo.Bloch, 4)
+	for i, p := range []PrepKind{PrepZero, PrepOne, PrepPlus, PrepY} {
+		c, lq, err := newPatch(dx, dz, arr)
+		if err != nil {
+			return tomo.Channel{}, err
+		}
+		if err := prepare(lq, p); err != nil {
+			return tomo.Channel{}, err
+		}
+		if err := applyOp(lq, op, rounds); err != nil {
+			return tomo.Channel{}, fmt.Errorf("%v on %v input: %w", op, p, err)
+		}
+		eng, err := orqcs.RunOnce(c.Build(), seed+int64(i))
+		if err != nil {
+			return tomo.Channel{}, err
+		}
+		outs[i], err = BlochOf(c, lq, eng)
+		if err != nil {
+			return tomo.Channel{}, fmt.Errorf("%v on %v input: %w", op, p, err)
+		}
+	}
+	return tomo.FromInputs(outs[0], outs[1], outs[2], outs[3]), nil
+}
+
+// InjectTBloch estimates the Bloch vector of the injected |T⟩ state by
+// quasi-probability Monte-Carlo sampling (paper Sec 4.1/4.2: verification
+// is statistical because of the single non-Clifford gate). Returns the
+// estimated vector and the per-component standard errors.
+func InjectTBloch(dx, dz int, shots int, seed int64) (mean, stderr tomo.Bloch, err error) {
+	c, lq, err := newPatch(dx, dz, core.Standard)
+	if err != nil {
+		return mean, stderr, err
+	}
+	lq.InjectState(core.InjectT)
+	circ := c.Build()
+	for i, k := range []core.LogicalKind{core.LogicalX, core.LogicalY, core.LogicalZ} {
+		rep := lq.GeoRep(k)
+		site, neg := c.SitePauli(rep)
+		m, se, eerr := orqcs.Estimate(circ, site, shots, seed+int64(i)*131)
+		if eerr != nil {
+			return mean, stderr, eerr
+		}
+		if neg {
+			m = -m
+		}
+		mean[i], stderr[i] = m, se
+	}
+	return mean, stderr, nil
+}
+
+// Quiescence verifies that repeated rounds of error correction leave every
+// plaquette outcome unchanged after the first round (paper Sec 4.3,
+// exercised there up to d = 30).
+func Quiescence(d, rounds int, seed int64) error {
+	c := core.NewCompiler(d+2, d+3, hardware.Default())
+	lq, err := c.NewLogicalQubit(d, d, core.Cell{R: 1, C: 1})
+	if err != nil {
+		return err
+	}
+	lq.TransversalPrepareZ()
+	var results []*core.RoundResult
+	for r := 0; r < rounds; r++ {
+		rr, err := lq.Idle(1)
+		if err != nil {
+			return err
+		}
+		results = append(results, rr[0])
+	}
+	eng, err := orqcs.RunOnce(c.Build(), seed)
+	if err != nil {
+		return err
+	}
+	recs := eng.Records()
+	first := results[0]
+	for _, later := range results[1:] {
+		for face, rec := range first.Records {
+			if recs[rec] != recs[later.Records[face]] {
+				return fmt.Errorf("verify: plaquette %v outcome changed between rounds", face)
+			}
+		}
+	}
+	return nil
+}
+
+// MeasureJointBranch runs Measure XX (vertical=true) or Measure ZZ on two
+// freshly prepared patches and verifies the branch against the expected
+// conditional map: the outcome formula must match the simulator, the joint
+// operator must equal the outcome, and the spectator joint operator must be
+// preserved (de Beaudrap–Horsman conditional mapping, paper Sec 4.4). It
+// returns the branch outcome.
+func MeasureJointBranch(d int, vertical bool, seed int64) (bool, error) {
+	gap := 1
+	if d%2 == 0 {
+		gap = 2
+	}
+	var c *core.Compiler
+	var a, b *core.LogicalQubit
+	var err error
+	if vertical {
+		c = core.NewCompiler(2*(d+gap)+2, d+4, hardware.Default())
+		a, err = c.NewLogicalQubit(d, d, core.Cell{R: 1, C: 1})
+		if err == nil {
+			b, err = c.NewLogicalQubit(d, d, core.Cell{R: 1 + d + gap, C: 1})
+		}
+	} else {
+		c = core.NewCompiler(d+2, 2*(d+gap)+4, hardware.Default())
+		a, err = c.NewLogicalQubit(d, d, core.Cell{R: 1, C: 1})
+		if err == nil {
+			b, err = c.NewLogicalQubit(d, d, core.Cell{R: 1, C: 1 + d + gap})
+		}
+	}
+	if err != nil {
+		return false, err
+	}
+	a.TransversalPrepareZ()
+	b.TransversalPrepareZ()
+	m, err := core.Merge(a, b, 1)
+	if err != nil {
+		return false, err
+	}
+	if _, err := m.Split(); err != nil {
+		return false, err
+	}
+	eng, err := orqcs.RunOnce(c.Build(), seed)
+	if err != nil {
+		return false, err
+	}
+	outcome := m.Outcome.Eval(eng.Records())
+	measured := core.LogicalX
+	spectator := core.LogicalZ
+	if !vertical {
+		measured, spectator = core.LogicalZ, core.LogicalX
+	}
+	joint := func(k core.LogicalKind) (float64, error) {
+		lv, jerr := c.JointLogicalValue([]core.LogicalTerm{{LQ: a, Kind: k}, {LQ: b, Kind: k}})
+		site, neg := c.SitePauli(lv.Rep)
+		v, eerr := eng.Expectation(site)
+		if eerr != nil {
+			return 0, eerr
+		}
+		if jerr == core.ErrUndetermined {
+			if v != 0 {
+				return 0, fmt.Errorf("verify: undetermined joint %v with raw %v", k, v)
+			}
+			return 0, nil
+		}
+		if jerr != nil {
+			return 0, jerr
+		}
+		if neg {
+			v = -v
+		}
+		if lv.Sign.Eval(eng.Records()) {
+			v = -v
+		}
+		return v, nil
+	}
+	vj, err := joint(measured)
+	if err != nil {
+		return false, err
+	}
+	want := 1.0
+	if outcome {
+		want = -1
+	}
+	if vj != want {
+		return false, fmt.Errorf("verify: joint %v%v = %v, outcome says %v", measured, measured, vj, want)
+	}
+	// |0̄0̄⟩ input: Z̄Z̄ preserved for XX measurement; for ZZ measurement the
+	// outcome must be deterministic +1 and X̄X̄ indefinite.
+	if vertical {
+		vs, err := joint(spectator)
+		if err != nil {
+			return false, err
+		}
+		if vs != 1 {
+			return false, fmt.Errorf("verify: spectator Z̄Z̄ = %v, want 1", vs)
+		}
+	} else if outcome {
+		return false, fmt.Errorf("verify: Z̄Z̄ on |0̄0̄⟩ measured −1")
+	}
+	return outcome, nil
+}
+
+// BellTomography prepares a Bell pair via merge/split on |0̄0̄⟩ and
+// reconstructs the two-qubit logical state (paper Sec 4.2: Bell-state
+// preparation verified by two-qubit state tomography with classical
+// corrections from merge and split measurements). Returns the fidelity with
+// the ideal outcome-conditioned Bell state.
+func BellTomography(d int, seed int64) (float64, error) {
+	gap := 1
+	if d%2 == 0 {
+		gap = 2
+	}
+	c := core.NewCompiler(2*(d+gap)+2, d+4, hardware.Default())
+	a, err := c.NewLogicalQubit(d, d, core.Cell{R: 1, C: 1})
+	if err != nil {
+		return 0, err
+	}
+	b, err := c.NewLogicalQubit(d, d, core.Cell{R: 1 + d + gap, C: 1})
+	if err != nil {
+		return 0, err
+	}
+	a.TransversalPrepareZ()
+	b.TransversalPrepareZ()
+	m, err := core.Merge(a, b, 1)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := m.Split(); err != nil {
+		return 0, err
+	}
+	eng, err := orqcs.RunOnce(c.Build(), seed)
+	if err != nil {
+		return 0, err
+	}
+	var st tomo.TwoQubitState
+	kinds := []core.LogicalKind{core.LogicalX, core.LogicalY, core.LogicalZ}
+	term := func(lq *core.LogicalQubit, k int) []core.LogicalTerm {
+		if k == 0 {
+			return nil
+		}
+		return []core.LogicalTerm{{LQ: lq, Kind: kinds[k-1]}}
+	}
+	for ka := 0; ka < 4; ka++ {
+		for kb := 0; kb < 4; kb++ {
+			if ka == 0 && kb == 0 {
+				continue
+			}
+			terms := append(term(a, ka), term(b, kb)...)
+			lv, jerr := c.JointLogicalValue(terms)
+			site, neg := c.SitePauli(lv.Rep)
+			v, eerr := eng.Expectation(site)
+			if eerr != nil {
+				return 0, eerr
+			}
+			if jerr == core.ErrUndetermined {
+				if v != 0 {
+					return 0, fmt.Errorf("verify: undetermined ⟨%d%d⟩ with raw %v", ka, kb, v)
+				}
+				v = 0
+			} else if jerr != nil {
+				return 0, jerr
+			} else {
+				if neg {
+					v = -v
+				}
+				if lv.Sign.Eval(eng.Records()) {
+					v = -v
+				}
+			}
+			st.E[ka][kb] = v
+		}
+	}
+	return st.PureFidelity(tomo.BellState(m.Outcome.Eval(eng.Records()))), nil
+}
+
+// GroupCheck verifies, in the spirit of the paper's d=2 low-level check
+// (Sec 4.3), that after one round of syndrome extraction the simulator's
+// stabilizer group contains every plaquette operator with the recorded
+// sign.
+func GroupCheck(d int, seed int64) error {
+	c := core.NewCompiler(d+2, d+3, hardware.Default())
+	lq, err := c.NewLogicalQubit(d, d, core.Cell{R: 1, C: 1})
+	if err != nil {
+		return err
+	}
+	lq.TransversalPrepareZ()
+	rr, err := lq.Idle(1)
+	if err != nil {
+		return err
+	}
+	eng, err := orqcs.RunOnce(c.Build(), seed)
+	if err != nil {
+		return err
+	}
+	for _, p := range lq.Plaquettes() {
+		s := lq.StabilizerString(p)
+		m, neg := c.SitePauli(s)
+		v, err := eng.Expectation(m)
+		if err != nil {
+			return err
+		}
+		if neg {
+			v = -v
+		}
+		want := 1.0
+		if eng.Records()[rr[0].Records[p.Face]] {
+			want = -1
+		}
+		if v != want {
+			return fmt.Errorf("verify: plaquette %v in-group value %v, record says %v", p.Face, v, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"tiscc/internal/core"
+	"tiscc/internal/tomo"
+)
+
+var allArrangements = []core.Arrangement{core.Standard, core.Rotated, core.Flipped, core.RotatedFlipped}
+
+// V1 — Sec 4.2: state-preparation tomography with and without the
+// subsequent round, from all four canonical arrangements.
+func TestStatePrepTomography(t *testing.T) {
+	for _, arr := range allArrangements {
+		for _, p := range []PrepKind{PrepZero, PrepOne, PrepPlus, PrepMinus, PrepY} {
+			for _, withRound := range []bool{false, true} {
+				b, err := StatePrep(3, 3, arr, p, withRound, 7)
+				if err != nil {
+					t.Fatalf("%s %v round=%v: %v", arr.Name(), p, withRound, err)
+				}
+				if b.MaxAbsDiff(p.Ideal()) != 0 {
+					t.Errorf("%s %v round=%v: bloch %v, want %v", arr.Name(), p, withRound, b, p.Ideal())
+				}
+			}
+		}
+	}
+}
+
+// V1 across even/odd and mixed code distances ≥ 2 (paper verifies both).
+func TestStatePrepDistances(t *testing.T) {
+	for _, dims := range [][2]int{{2, 2}, {4, 4}, {3, 5}, {5, 3}, {4, 3}, {2, 5}} {
+		b, err := StatePrep(dims[0], dims[1], core.Standard, PrepY, true, 9)
+		if err != nil {
+			t.Fatalf("dx=%d dz=%d: %v", dims[0], dims[1], err)
+		}
+		if b.MaxAbsDiff(tomo.StateYPos) != 0 {
+			t.Errorf("dx=%d dz=%d: bloch %v", dims[0], dims[1], b)
+		}
+	}
+}
+
+// V3 — Sec 4.3: one-tile process tomography against ideal channels from
+// all canonical arrangements (Flip Patch only from standard and rotated).
+func TestOneTileProcessTomography(t *testing.T) {
+	for _, op := range []OneTileOp{OpIdle, OpHadamard, OpPauliX, OpPauliY, OpPauliZ} {
+		for _, arr := range allArrangements {
+			ch, err := OneTileChannel(3, 3, arr, op, 1, 21)
+			if err != nil {
+				t.Fatalf("%v from %s: %v", op, arr.Name(), err)
+			}
+			if d := ch.MaxAbsDiff(op.Ideal()); d != 0 {
+				t.Errorf("%v from %s: channel deviates by %v:\n got %v\nwant %v",
+					op, arr.Name(), d, ch, op.Ideal())
+			}
+		}
+	}
+}
+
+func TestFlipPatchProcess(t *testing.T) {
+	for _, arr := range []core.Arrangement{core.Standard, core.Rotated} {
+		ch, err := OneTileChannel(3, 3, arr, OpFlipPatch, 1, 23)
+		if err != nil {
+			t.Fatalf("FlipPatch from %s: %v", arr.Name(), err)
+		}
+		if d := ch.MaxAbsDiff(tomo.IdealIdentity); d != 0 {
+			t.Errorf("FlipPatch from %s: deviates by %v: %v", arr.Name(), d, ch)
+		}
+	}
+}
+
+func TestMoveRightSwapLeftProcess(t *testing.T) {
+	for _, arr := range []core.Arrangement{core.Standard, core.Rotated} {
+		ch, err := OneTileChannel(3, 3, arr, OpMoveRightSwapLeft, 1, 25)
+		if err != nil {
+			t.Fatalf("MoveRight+SwapLeft from %s: %v", arr.Name(), err)
+		}
+		if d := ch.MaxAbsDiff(tomo.IdealIdentity); d != 0 {
+			t.Errorf("MoveRight+SwapLeft from %s: deviates by %v: %v", arr.Name(), d, ch)
+		}
+	}
+}
+
+func TestExtendContractProcess(t *testing.T) {
+	ch, err := OneTileChannel(3, 3, core.Standard, OpExtendContract, 1, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ch.MaxAbsDiff(tomo.IdealIdentity); d != 0 {
+		t.Errorf("Extend+Contract deviates by %v: %v", d, ch)
+	}
+}
+
+func TestProcessMixedDistances(t *testing.T) {
+	// dx ≠ dz coverage for the identity-process primitives (paper verifies
+	// dx = dz and dx ≠ dz cases).
+	for _, dims := range [][2]int{{2, 3}, {4, 3}, {3, 4}} {
+		ch, err := OneTileChannel(dims[0], dims[1], core.Standard, OpFlipPatch, 1, 29)
+		if err != nil {
+			t.Fatalf("dx=%d dz=%d: %v", dims[0], dims[1], err)
+		}
+		if d := ch.MaxAbsDiff(tomo.IdealIdentity); d != 0 {
+			t.Errorf("dx=%d dz=%d: deviates by %v", dims[0], dims[1], d)
+		}
+	}
+}
+
+// V2 — Sec 4.1/4.2: statistical verification of the |T⟩ injection via
+// quasi-probability Monte Carlo.
+func TestInjectTStatistical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical T verification skipped in -short mode")
+	}
+	mean, stderr, err := InjectTBloch(2, 2, 20000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tomo.StateT
+	for i := 0; i < 3; i++ {
+		tol := 5*stderr[i] + 0.02
+		if math.Abs(mean[i]-want[i]) > tol {
+			t.Errorf("component %d: %v ± %v, want %v", i, mean[i], stderr[i], want[i])
+		}
+	}
+}
+
+// V4 — Sec 4.3: quiescence of repeated idles (the paper reports stability
+// up to d = 30; the large case runs unless -short).
+func TestQuiescenceSmall(t *testing.T) {
+	for _, d := range []int{2, 3, 5} {
+		if err := Quiescence(d, 3, 41); err != nil {
+			t.Errorf("d=%d: %v", d, err)
+		}
+	}
+}
+
+func TestQuiescenceLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-distance idle skipped in -short mode")
+	}
+	if err := Quiescence(13, 2, 43); err != nil {
+		t.Error(err)
+	}
+}
+
+// V4 — the layer-by-layer group check in the spirit of the paper's d=2
+// hand verification.
+func TestGroupCheck(t *testing.T) {
+	for _, d := range []int{2, 3, 4} {
+		if err := GroupCheck(d, 47); err != nil {
+			t.Errorf("d=%d: %v", d, err)
+		}
+	}
+}
+
+// V5 — Sec 4.4: two-tile Measure XX/ZZ verified per branch; both branches
+// must be exercised across seeds.
+func TestMeasureJointBranches(t *testing.T) {
+	for _, vertical := range []bool{true, false} {
+		seen := map[bool]bool{}
+		for seed := int64(0); seed < 6; seed++ {
+			out, err := MeasureJointBranch(3, vertical, 100+seed)
+			if err != nil {
+				t.Fatalf("vertical=%v seed=%d: %v", vertical, seed, err)
+			}
+			seen[out] = true
+		}
+		if vertical && (!seen[true] || !seen[false]) {
+			t.Errorf("vertical=%v: only one X̄X̄ branch exercised", vertical)
+		}
+	}
+}
+
+func TestMeasureJointEvenDistance(t *testing.T) {
+	if _, err := MeasureJointBranch(2, true, 3); err != nil {
+		t.Error(err)
+	}
+	if _, err := MeasureJointBranch(4, true, 5); err != nil {
+		t.Error(err)
+	}
+}
+
+// V5 — Bell-state preparation verified by two-qubit state tomography with
+// classical corrections (Sec 4.2).
+func TestBellTomography(t *testing.T) {
+	for _, d := range []int{2, 3} {
+		for seed := int64(0); seed < 3; seed++ {
+			f, err := BellTomography(d, 200+seed)
+			if err != nil {
+				t.Fatalf("d=%d: %v", d, err)
+			}
+			if math.Abs(f-1) > 1e-9 {
+				t.Errorf("d=%d seed=%d: Bell fidelity %v, want 1", d, seed, f)
+			}
+		}
+	}
+}

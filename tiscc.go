@@ -1,0 +1,215 @@
+// Package tiscc is a Go implementation of TISCC, the Trapped-Ion Surface
+// Code Compiler and resource estimator (LeBlond, Lietz, Seck & Bennink,
+// SC-W 2023, arXiv:2311.10687).
+//
+// TISCC generates explicit, time-resolved hardware circuits for a universal
+// set of surface-code patch operations in terms of a native trapped-ion
+// gate set, on an internal representation of a QCCD-style processor: an
+// arbitrarily large rectangular grid of trapping zones and junctions.
+// Alongside the compiler it provides a hardware resource estimator and a
+// quasi-Clifford verification simulator in the style of ORQCS.
+//
+// # Layers
+//
+//   - Compiler / LogicalQubit: the patch-level primitives of paper Table 2
+//     (transversal operations, rounds of error correction, merge, split,
+//     corner movement, Move Right / Swap Left).
+//   - Layout: the local, tile-based lattice-surgery instruction set of
+//     Tables 1 and 3, with logical time-step accounting.
+//   - Engine: the verification simulator (parser + hardware model +
+//     stabilizer simulation with quasi-probability sampling of the
+//     non-Clifford injection gate).
+//   - Estimate: space-time resource estimation for compiled circuits.
+//
+// # Quickstart
+//
+//	layout, _ := tiscc.NewLayout(1, 1, 5, 5, 5, tiscc.DefaultParams())
+//	layout.PrepareZ(tiscc.TileCoord{R: 0, C: 0})
+//	layout.Idle(tiscc.TileCoord{R: 0, C: 0})
+//	circ := layout.Circuit()
+//	fmt.Println(tiscc.EstimateCircuit(circ, tiscc.DefaultParams()))
+//
+// See the examples directory for runnable programs.
+package tiscc
+
+import (
+	"math"
+
+	"tiscc/internal/circuit"
+	"tiscc/internal/core"
+	"tiscc/internal/expr"
+	"tiscc/internal/grid"
+	"tiscc/internal/hardware"
+	"tiscc/internal/instr"
+	"tiscc/internal/orqcs"
+	"tiscc/internal/resource"
+	"tiscc/internal/tomo"
+	"tiscc/internal/verify"
+)
+
+// Core compiler types (paper Appendix B class structure).
+type (
+	// Compiler owns the grid, the hardware circuit builder and the symbolic
+	// outcome tracker of one compilation session.
+	Compiler = core.Compiler
+	// LogicalQubit is a surface-code patch with methods compiling the
+	// primitive operations of paper Table 2.
+	LogicalQubit = core.LogicalQubit
+	// Cell addresses one repeating unit of the trapped-ion grid.
+	Cell = core.Cell
+	// Arrangement identifies one of the four canonical stabilizer
+	// arrangements of paper Fig 2.
+	Arrangement = core.Arrangement
+	// Plaquette is a stabilizer plaquette bound to hardware geometry.
+	Plaquette = core.Plaquette
+	// LogicalKind selects a logical Pauli operator.
+	LogicalKind = core.LogicalKind
+	// LogicalTerm selects one logical operator of one patch.
+	LogicalTerm = core.LogicalTerm
+	// LogicalValue is a measurement recipe for a logical operator.
+	LogicalValue = core.LogicalValue
+	// MergeResult describes a compiled lattice-surgery merge.
+	MergeResult = core.MergeResult
+	// InjectKind selects the non-fault-tolerant injection target state.
+	InjectKind = core.InjectKind
+	// RoundResult maps measured plaquettes to record indices.
+	RoundResult = core.RoundResult
+	// Edge names a patch boundary for corner movements.
+	Edge = core.Edge
+)
+
+// Instruction-set types (paper Tables 1 and 3).
+type (
+	// Layout is a grid of logical tiles executing the tile-based
+	// lattice-surgery instruction set.
+	Layout = instr.Layout
+	// TileCoord addresses a logical tile.
+	TileCoord = instr.TileCoord
+	// Tile is one logical tile.
+	Tile = instr.Tile
+	// Result reports an executed instruction (time-steps, outcomes).
+	Result = instr.Result
+)
+
+// Hardware and circuit types.
+type (
+	// Params is the hardware timing model (paper Table 5).
+	Params = hardware.Params
+	// Circuit is a time-resolved native-gate circuit.
+	Circuit = circuit.Circuit
+	// Event is one scheduled hardware operation.
+	Event = circuit.Event
+	// Gate names a native trapped-ion gate.
+	Gate = circuit.Gate
+	// Site is a trapping-zone coordinate.
+	Site = grid.Site
+	// Grid is the trapped-ion zone/junction geometry.
+	Grid = grid.Grid
+	// Ion identifies a trapped ion managed by the circuit builder.
+	Ion = hardware.Ion
+)
+
+// Verification types.
+type (
+	// Engine is one shot of the quasi-Clifford verification simulator.
+	Engine = orqcs.Engine
+	// SitePauli is a Pauli operator keyed by trapping-zone site.
+	SitePauli = orqcs.SitePauli
+	// Expr is a measurement-record XOR formula.
+	Expr = expr.Expr
+	// Estimate is a hardware resource report (paper Sec 3.4).
+	Estimate = resource.Estimate
+	// Bloch is a logical Bloch vector.
+	Bloch = tomo.Bloch
+	// Channel is an affine Bloch map (single-qubit process matrix data).
+	Channel = tomo.Channel
+)
+
+// Canonical arrangements (paper Fig 2).
+var (
+	Standard       = core.Standard
+	Rotated        = core.Rotated
+	Flipped        = core.Flipped
+	RotatedFlipped = core.RotatedFlipped
+)
+
+// Logical operator kinds.
+const (
+	LogicalX = core.LogicalX
+	LogicalZ = core.LogicalZ
+	LogicalY = core.LogicalY
+)
+
+// Injection targets.
+const (
+	InjectY = core.InjectY
+	InjectT = core.InjectT
+)
+
+// ErrUndetermined reports a logical operator with no independent value
+// formula in the current frame.
+var ErrUndetermined = core.ErrUndetermined
+
+// DefaultParams returns the paper's Table 5 hardware timing model.
+func DefaultParams() Params { return hardware.Default() }
+
+// NewCompiler creates a compiler over a grid of cellRows × cellCols
+// repeating units.
+func NewCompiler(cellRows, cellCols int, p Params) *Compiler {
+	return core.NewCompiler(cellRows, cellCols, p)
+}
+
+// NewLayout allocates a layout of tileRows × tileCols logical tiles with
+// code distances dx, dz and time distance dt.
+func NewLayout(tileRows, tileCols, dx, dz, dt int, p Params) (*Layout, error) {
+	return instr.NewLayout(tileRows, tileCols, dx, dz, dt, p)
+}
+
+// Merge merges two adjacent initialized patches (vertical merges measure
+// X̄X̄, horizontal ones Z̄Z̄).
+func Merge(a, b *LogicalQubit, rounds int) (*MergeResult, error) { return core.Merge(a, b, rounds) }
+
+// TileHeight and TileWidth give the logical-tile footprint in repeating
+// units: 2⌈(d+1)/2⌉ (paper Sec 2.3).
+func TileHeight(dz int) int { return instr.TileHeight(dz) }
+func TileWidth(dx int) int  { return instr.TileWidth(dx) }
+
+// RunCircuit executes one simulation shot of a compiled circuit.
+func RunCircuit(c *Circuit, seed int64) (*Engine, error) { return orqcs.RunOnce(c, seed) }
+
+// RunCircuitText parses the textual circuit form and executes one shot (the
+// ORQCS-style file interface).
+func RunCircuitText(text string, seed int64) (*Engine, error) { return orqcs.RunText(text, seed) }
+
+// EstimateExpectation Monte-Carlo-estimates a Pauli expectation for
+// circuits containing non-Clifford gates (quasi-probability sampling with
+// negativity γ = √2 per T gate).
+func EstimateExpectation(c *Circuit, op SitePauli, shots int, seed int64) (mean, stderr float64, err error) {
+	return orqcs.Estimate(c, op, shots, seed)
+}
+
+// EstimateCircuit computes the hardware resource report of a circuit.
+func EstimateCircuit(c *Circuit, p Params) Estimate { return resource.FromCircuit(c, p) }
+
+// ValidateCircuit re-checks a circuit against the hardware movement rules
+// (the paper's validity checker).
+func ValidateCircuit(g *Grid, c *Circuit) error { return hardware.Validate(g, c) }
+
+// ParseCircuit reads the textual circuit form.
+func ParseCircuit(text string) (*Circuit, error) { return circuit.Parse(text) }
+
+// VerifyStatePrep runs the Sec 4.2 state-preparation tomography and
+// returns the measured logical Bloch vector.
+func VerifyStatePrep(dx, dz int, arr Arrangement, p verify.PrepKind, withRound bool, seed int64) (Bloch, error) {
+	return verify.StatePrep(dx, dz, arr, p, withRound, seed)
+}
+
+// VerifyOneTileChannel runs the Sec 4.3 single-qubit process tomography of
+// a one-tile operation.
+func VerifyOneTileChannel(dx, dz int, arr Arrangement, op verify.OneTileOp, rounds int, seed int64) (Channel, error) {
+	return verify.OneTileChannel(dx, dz, arr, op, rounds, seed)
+}
+
+// Gamma is the quasi-probability negativity of the T-gate channel
+// decomposition used by the simulator (paper Sec 4.1).
+var Gamma = math.Sqrt2

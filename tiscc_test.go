@@ -1,0 +1,88 @@
+package tiscc_test
+
+import (
+	"testing"
+
+	"tiscc"
+)
+
+// TestFacadeQuickstart exercises the documented public-API workflow.
+func TestFacadeQuickstart(t *testing.T) {
+	layout, err := tiscc.NewLayout(1, 1, 3, 3, 3, tiscc.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile := tiscc.TileCoord{R: 0, C: 0}
+	if _, err := layout.PrepareZ(tile); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := layout.Idle(tile); err != nil {
+		t.Fatal(err)
+	}
+	circ := layout.Circuit()
+	if err := tiscc.ValidateCircuit(layout.C.G, circ); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := tiscc.RunCircuit(circ, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, _ := layout.Tile(tile)
+	lv, err := tl.LQ.LogicalValueOf(tiscc.LogicalZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, _ := layout.C.SitePauli(lv.Rep)
+	v, err := eng.Expectation(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv.Sign.Eval(eng.Records()) {
+		v = -v
+	}
+	if v != 1 {
+		t.Fatalf("⟨Z̄⟩ = %v", v)
+	}
+	est := tiscc.EstimateCircuit(circ, tiscc.DefaultParams())
+	if est.Time <= 0 || est.Zones == 0 {
+		t.Fatalf("bad estimate: %+v", est)
+	}
+}
+
+// TestFacadeTextRoundTrip checks the circuit text interface through the
+// public API (compile → serialize → parse → simulate).
+func TestFacadeTextRoundTrip(t *testing.T) {
+	layout, err := tiscc.NewLayout(1, 1, 2, 2, 1, tiscc.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := layout.PrepareZ(tiscc.TileCoord{R: 0, C: 0}); err != nil {
+		t.Fatal(err)
+	}
+	text := layout.Circuit().String()
+	eng, err := tiscc.RunCircuitText(text, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.Records()) == 0 {
+		t.Fatal("no records")
+	}
+}
+
+// TestFacadeTileFootprint checks the exported tile-footprint law.
+func TestFacadeTileFootprint(t *testing.T) {
+	if tiscc.TileHeight(5) != 6 || tiscc.TileWidth(4) != 6 {
+		t.Fatal("tile footprint wrong")
+	}
+}
+
+// TestFacadeVerify runs a small verification through the facade.
+func TestFacadeVerify(t *testing.T) {
+	b, err := tiscc.VerifyStatePrep(3, 3, tiscc.Standard, 0 /* PrepZero */, true, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[2] != 1 {
+		t.Fatalf("⟨Z̄⟩ = %v", b[2])
+	}
+}
