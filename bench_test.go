@@ -7,9 +7,11 @@ package tiscc_test
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"tiscc"
+	"tiscc/internal/circuit"
 	"tiscc/internal/core"
 	"tiscc/internal/hardware"
 	"tiscc/internal/instr"
@@ -406,6 +408,97 @@ func BenchmarkAblationSlowJunction(b *testing.B) {
 // straight transport.
 func BenchmarkAblationFastTransport(b *testing.B) {
 	ablationIdle(b, func(p *hardware.Params) { p.Move = 525 })
+}
+
+// --- Compile-once/run-many benchmarks: the Monte-Carlo verification hot
+// path (Sec 4.1) before and after the Program refactor.
+
+// injectionSetup compiles a d×d T-state injection circuit (the statistical
+// verification workload) and resolves its logical-X measurement operator.
+func injectionSetup(b *testing.B, d int) (*circuit.Circuit, orqcs.SitePauli) {
+	b.Helper()
+	c := core.NewCompiler(d+8, d+7, hardware.Default())
+	lq, err := c.NewLogicalQubit(d, d, core.Cell{R: 1, C: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lq.InjectState(core.InjectT)
+	site, _ := c.SitePauli(lq.GeoRep(core.LogicalX))
+	return c.Build(), site
+}
+
+// BenchmarkEstimateBatchVsLegacy compares the compiled multi-shot estimator
+// (one Program, reused engine state, N workers) against the legacy loop that
+// re-runs RunOnce — re-resolving movement semantics and re-allocating the
+// tableau — for every shot, on a d=5 injection circuit at 200 shots. The
+// ns/op ratio between the legacy and program sub-benchmarks is the
+// compile-once/run-many speedup.
+func BenchmarkEstimateBatchVsLegacy(b *testing.B) {
+	const d, shots = 5, 200
+	circ, op := injectionSetup(b, d)
+	b.Run("legacy-runonce-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var sum float64
+			for s := 0; s < shots; s++ {
+				e, err := orqcs.RunOnce(circ, int64(s)*7919+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				v, err := e.Expectation(op)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += e.Weight() * v
+			}
+			if math.Abs(sum) > shots*math.Sqrt2 {
+				b.Fatal("impossible weighted sum")
+			}
+		}
+	})
+	prog, err := orqcs.Compile(circ)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("program-workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := orqcs.EstimateBatch(prog, op, shots, 1, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunShotReuse isolates the per-shot cost of a reused engine (the
+// compiled inner loop with zero allocations) from compilation.
+func BenchmarkRunShotReuse(b *testing.B) {
+	for _, d := range []int{3, 5} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			circ, _ := injectionSetup(b, d)
+			prog, err := orqcs.Compile(circ)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := orqcs.NewFromProgram(prog)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.RunShot(orqcs.ShotSeed(1, i))
+			}
+		})
+	}
+}
+
+// BenchmarkCompileProgram measures the one-time lowering cost that the batch
+// path amortizes over all shots.
+func BenchmarkCompileProgram(b *testing.B) {
+	circ, _ := injectionSetup(b, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := orqcs.Compile(circ); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkHadamardRotate compiles the full logical Hadamard with patch

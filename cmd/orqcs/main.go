@@ -7,7 +7,11 @@
 //
 // Usage:
 //
-//	orqcs -circuit file.tiscc [-seed 1] [-shots 1] [-expect "Z@0.2,X@4.6"]
+//	orqcs -circuit file.tiscc [-seed 1] [-shots 1] [-workers 0] [-expect "Z@0.2,X@4.6"]
+//
+// The circuit is compiled once into a lowered program; multi-shot estimates
+// then run on a deterministic parallel worker pool (results depend only on
+// the seed, never on the worker count).
 package main
 
 import (
@@ -25,11 +29,12 @@ import (
 
 func main() {
 	var (
-		file   = flag.String("circuit", "", "circuit file (TISCC textual form)")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-		shots  = flag.Int("shots", 1, "Monte-Carlo shots (for non-Clifford circuits)")
-		expect = flag.String("expect", "", "comma-separated Pauli ops, e.g. Z@0.2,X@4.6")
-		quiet  = flag.Bool("quiet", false, "suppress the record table")
+		file    = flag.String("circuit", "", "circuit file (TISCC textual form)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		shots   = flag.Int("shots", 1, "Monte-Carlo shots (for non-Clifford circuits)")
+		workers = flag.Int("workers", 0, "parallel shot workers (0 = GOMAXPROCS)")
+		expect  = flag.String("expect", "", "comma-separated Pauli ops, e.g. Z@0.2,X@4.6")
+		quiet   = flag.Bool("quiet", false, "suppress the record table")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -49,19 +54,23 @@ func main() {
 		fatal(err)
 	}
 
-	if *shots > 1 && len(op) > 0 {
-		mean, stderr, err := orqcs.Estimate(circ, op, *shots, *seed)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("expectation %s = %.6f ± %.6f (%d shots)\n", *expect, mean, stderr, *shots)
-		return
-	}
-
-	eng, err := orqcs.RunOnce(circ, *seed)
+	prog, err := orqcs.Compile(circ)
 	if err != nil {
 		fatal(err)
 	}
+
+	if *shots > 1 && len(op) > 0 {
+		mean, stderr, err := orqcs.EstimateBatch(prog, op, *shots, *seed, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("expectation %s = %.6f ± %.6f (%d shots, %d T gates)\n",
+			*expect, mean, stderr, *shots, prog.NumTGates())
+		return
+	}
+
+	eng := orqcs.NewFromProgram(prog)
+	eng.RunShot(*seed)
 	if !*quiet {
 		var ids []int32
 		for id := range eng.Records() {

@@ -12,19 +12,23 @@
 //	tiscc-bench -figure 1 | 2 | 3 | 4 | 6
 //	tiscc-bench -resources [-dlist 3,5,7,9,11,13]
 //	tiscc-bench -verify
+//	tiscc-bench -simbench [-d 5] [-shots 200]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"tiscc/internal/circuit"
 	"tiscc/internal/core"
 	"tiscc/internal/hardware"
 	"tiscc/internal/instr"
+	"tiscc/internal/orqcs"
 	"tiscc/internal/pauli"
 	"tiscc/internal/resource"
 	"tiscc/internal/verify"
@@ -37,6 +41,8 @@ func main() {
 		figure = flag.Int("figure", 0, "print one paper figure (1, 2, 3, 4 or 6)")
 		res    = flag.Bool("resources", false, "print per-instruction resource estimates")
 		ver    = flag.Bool("verify", false, "run the verification matrix")
+		sim    = flag.Bool("simbench", false, "benchmark compiled-program vs legacy per-shot simulation")
+		shots  = flag.Int("shots", 200, "Monte-Carlo shots for -simbench")
 		dlist  = flag.String("dlist", "3,5,7,9", "code distances for the resource sweep")
 		d      = flag.Int("d", 3, "code distance for tables/figures")
 	)
@@ -69,10 +75,71 @@ func main() {
 		runVerify()
 		did = true
 	}
+	if *sim {
+		runSimBench(*d, *shots)
+		did = true
+	}
 	if !did {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runSimBench times the Monte-Carlo verification hot path (a d×d T-state
+// injection estimated over N shots) on the legacy per-shot RunOnce loop and
+// on the compile-once/run-many batch runner, and prints the speedup.
+func runSimBench(d, shots int) {
+	fmt.Printf("== Simulation throughput: compiled program vs legacy (d=%d, %d shots) ==\n", d, shots)
+	c := core.NewCompiler(d+8, d+7, hardware.Default())
+	lq, err := c.NewLogicalQubit(d, d, core.Cell{R: 1, C: 2})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		return
+	}
+	lq.InjectState(core.InjectT)
+	site, _ := c.SitePauli(lq.GeoRep(core.LogicalX))
+	circ := c.Build()
+
+	t0 := time.Now()
+	var sum float64
+	for s := 0; s < shots; s++ {
+		eng, err := orqcs.RunOnce(circ, int64(s)*7919+1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			return
+		}
+		v, err := eng.Expectation(site)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			return
+		}
+		sum += eng.Weight() * v
+	}
+	legacy := time.Since(t0)
+	fmt.Printf("  legacy per-shot RunOnce loop   %10v  (%.0f shots/s, mean %.4f)\n",
+		legacy, float64(shots)/legacy.Seconds(), sum/float64(shots))
+
+	t0 = time.Now()
+	prog, err := orqcs.Compile(circ)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		return
+	}
+	compileTime := time.Since(t0)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		t0 = time.Now()
+		mean, stderr, err := orqcs.EstimateBatch(prog, site, shots, 1, workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			return
+		}
+		el := time.Since(t0)
+		fmt.Printf("  EstimateBatch (%d worker(s))    %10v  (%.0f shots/s, mean %.4f ± %.4f, %.1f× legacy)\n",
+			workers, el, float64(shots)/el.Seconds(), mean, stderr, legacy.Seconds()/el.Seconds())
+	}
+	fmt.Printf("  one-time Compile: %v, %d instructions, %d qubits, %d T gates\n",
+		compileTime, prog.NumInstrs(), prog.NumQubits(), prog.NumTGates())
+	fmt.Println()
 }
 
 func parseInts(s string) []int {

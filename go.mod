@@ -1,0 +1,3 @@
+module tiscc
+
+go 1.24

@@ -28,13 +28,17 @@ import (
 	"tiscc/internal/tableau"
 )
 
-// Engine holds the state of one simulation shot.
+// Engine executes shots of one compiled Program on a reusable stabilizer
+// state. The tableau, its scratch storage and the record table are allocated
+// once in NewFromProgram and reset in place by every RunShot, so the
+// per-shot cost is pure simulation work.
 type Engine struct {
-	tb      *tableau.T
-	qubitAt map[grid.Site]int
-	n       int
-	weight  float64
-	rng     *rand.Rand
+	prog   *Program
+	tb     *tableau.T
+	src    rand.Source
+	rng    *rand.Rand
+	weight float64
+	ran    bool
 }
 
 // walkPositions drives the movement semantics shared by the counting pass
@@ -113,71 +117,82 @@ func CountIons(c *circuit.Circuit) (int, error) {
 	return n, err
 }
 
-// New prepares an engine able to run the circuit (all ions start in |0⟩).
-func New(c *circuit.Circuit, seed int64) (*Engine, error) {
-	n, err := CountIons(c)
-	if err != nil {
-		return nil, err
-	}
-	rng := rand.New(rand.NewSource(seed))
-	return &Engine{
-		tb:      tableau.New(n, rng),
-		qubitAt: map[grid.Site]int{},
-		weight:  1,
-		rng:     rng,
-	}, nil
+// shotSource is a SplitMix64-backed rand.Source64. Reseeding is O(1): the
+// stock math/rand source refills 607 feedback registers per Seed, which
+// profiles at ~25% of a whole simulation shot in the run-many loop.
+type shotSource struct{ state uint64 }
+
+func (s *shotSource) Seed(seed int64) { s.state = uint64(seed) }
+
+func (s *shotSource) Uint64() uint64 {
+	out := splitmix64(s.state)
+	s.state += 0x9E3779B97F4A7C15
+	return out
 }
 
-// Run executes the circuit on the engine. It may be called once per engine.
-func (e *Engine) Run(c *circuit.Circuit) error {
-	next := 0
-	birth := func(s grid.Site) int {
-		q := next
-		next++
-		e.qubitAt[s] = q
-		return q
+func (s *shotSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// NewFromProgram prepares a reusable engine for a compiled program (all ions
+// start in |0⟩). One engine runs any number of shots via RunShot; engines
+// are not safe for concurrent use, but any number of engines may share one
+// Program.
+func NewFromProgram(p *Program) *Engine {
+	src := &shotSource{}
+	rng := rand.New(src)
+	return &Engine{
+		prog:   p,
+		tb:     tableau.New(p.n, rng),
+		src:    src,
+		rng:    rng,
+		weight: 1,
 	}
-	return walkPositions(c, birth, func(ev circuit.Event, q1, q2 int) error {
-		switch ev.Gate {
-		case circuit.Move:
-			// Keep the engine's site map in sync (walkPositions tracks its own).
-			delete(e.qubitAt, ev.S1)
-			e.qubitAt[ev.S2] = q1
-			return nil
-		case circuit.PrepareZ:
-			e.tb.Reset(q1)
-		case circuit.MeasureZ:
-			e.tb.MeasurePauli(pauli.Single(e.tb.N(), q1, pauli.Z), ev.Record)
-		case circuit.XPi2:
-			e.tb.X(q1)
-		case circuit.XPi4:
-			e.tb.SqrtX(q1)
-		case circuit.XmPi4:
-			e.tb.SqrtXDg(q1)
-		case circuit.YPi2:
-			e.tb.Y(q1)
-		case circuit.YPi4:
-			e.tb.SqrtY(q1)
-		case circuit.YmPi4:
-			e.tb.SqrtYDg(q1)
-		case circuit.ZPi2:
-			e.tb.Z(q1)
-		case circuit.ZPi4:
-			e.tb.S(q1)
-		case circuit.ZmPi4:
-			e.tb.Sdg(q1)
-		case circuit.ZPi8, circuit.ZmPi8:
-			e.sampleT(q1, ev.Gate == circuit.ZPi8)
-		case circuit.ZZ:
-			e.tb.ZZ(q1, q2)
-		case circuit.MergeWells, circuit.SplitWells, circuit.Cool:
-			// Well reconfiguration and cooling act trivially on the
-			// computational state.
-		default:
-			return fmt.Errorf("orqcs: unknown gate %q", ev.Gate)
+}
+
+// Program returns the compiled program this engine executes.
+func (e *Engine) Program() *Program { return e.prog }
+
+// RunShot executes one simulation shot with the given RNG seed, resetting
+// all reused state first. For a fixed program, the shot outcome depends only
+// on the seed.
+func (e *Engine) RunShot(seed int64) {
+	if e.ran {
+		e.tb.ResetAll()
+	}
+	e.ran = true
+	e.weight = 1
+	e.src.Seed(seed)
+	for i := range e.prog.instrs {
+		in := &e.prog.instrs[i]
+		q := int(in.Q1)
+		switch in.Op {
+		case OpPrepareZ:
+			e.tb.Reset(q)
+		case OpMeasureZ:
+			e.tb.MeasureZ(q, in.Rec)
+		case OpX:
+			e.tb.X(q)
+		case OpSqrtX:
+			e.tb.SqrtX(q)
+		case OpSqrtXDg:
+			e.tb.SqrtXDg(q)
+		case OpY:
+			e.tb.Y(q)
+		case OpSqrtY:
+			e.tb.SqrtY(q)
+		case OpSqrtYDg:
+			e.tb.SqrtYDg(q)
+		case OpZ:
+			e.tb.Z(q)
+		case OpS:
+			e.tb.S(q)
+		case OpSdg:
+			e.tb.Sdg(q)
+		case OpT, OpTdg:
+			e.sampleT(q, in.Op == OpT)
+		case OpZZ:
+			e.tb.ZZ(q, int(in.Q2))
 		}
-		return nil
-	})
+	}
 }
 
 // sampleT applies one quasi-probability branch of the T (or T†) channel.
@@ -208,30 +223,20 @@ func (e *Engine) sampleT(q int, positive bool) {
 // (1 for Clifford-only circuits).
 func (e *Engine) Weight() float64 { return e.weight }
 
-// Records returns the measurement-record table produced by the run.
+// Records returns the measurement-record table of the most recent shot. The
+// map is reused across shots: it is valid until the next RunShot on this
+// engine, so copy it if it must outlive the shot.
 func (e *Engine) Records() map[int32]bool { return e.tb.Records() }
 
-// QubitAt resolves the tableau qubit of the ion currently resting at s.
-func (e *Engine) QubitAt(s grid.Site) (int, bool) {
-	q, ok := e.qubitAt[s]
-	return q, ok
-}
+// QubitAt resolves the tableau qubit of the ion resting at s at the end of
+// the program.
+func (e *Engine) QubitAt(s grid.Site) (int, bool) { return e.prog.QubitAt(s) }
 
 // SitePauli describes a Pauli operator keyed by trapping-zone site.
 type SitePauli map[grid.Site]pauli.Kind
 
 // pauliFor builds the tableau-indexed Pauli string for a site-keyed operator.
-func (e *Engine) pauliFor(op SitePauli) (*pauli.String, error) {
-	p := pauli.NewString(e.tb.N())
-	for s, k := range op {
-		q, ok := e.qubitAt[s]
-		if !ok {
-			return nil, fmt.Errorf("orqcs: no ion at site %v", s)
-		}
-		p.SetKind(q, k)
-	}
-	return p, nil
-}
+func (e *Engine) pauliFor(op SitePauli) (*pauli.String, error) { return e.prog.PauliFor(op) }
 
 // Expectation returns the exact expectation (+1/−1/0) of a site-keyed Pauli
 // string in this shot's final state (unweighted).
@@ -260,16 +265,16 @@ func (e *Engine) SignedExpectation(op SitePauli, neg bool) (float64, error) {
 // verification in the style of paper Sec 4.3).
 func (e *Engine) Tableau() *tableau.T { return e.tb }
 
-// RunOnce parses nothing and runs a single shot of a circuit; convenience
-// constructor used throughout verification.
+// RunOnce compiles a circuit and runs a single shot; convenience
+// constructor used throughout verification. For repeated shots of the same
+// circuit, Compile once and reuse the engine instead.
 func RunOnce(c *circuit.Circuit, seed int64) (*Engine, error) {
-	e, err := New(c, seed)
+	p, err := Compile(c)
 	if err != nil {
 		return nil, err
 	}
-	if err := e.Run(c); err != nil {
-		return nil, err
-	}
+	e := NewFromProgram(p)
+	e.RunShot(seed)
 	return e, nil
 }
 
@@ -288,29 +293,14 @@ func RunText(text string, seed int64) (*Engine, error) {
 // the quasi-probability sampler for any non-Clifford gates. It returns the
 // mean and the standard error of the mean. For Clifford-only circuits with a
 // deterministic expectation, a single shot suffices and stderr is 0.
+//
+// Estimate compiles the circuit and delegates to EstimateBatch with an
+// automatic worker count; callers estimating several operators over the same
+// circuit should Compile once and call EstimateBatch per operator.
 func Estimate(c *circuit.Circuit, op SitePauli, shots int, seed int64) (mean, stderr float64, err error) {
-	var sum, sumSq float64
-	for i := 0; i < shots; i++ {
-		e, err := RunOnce(c, seed+int64(i)*7919)
-		if err != nil {
-			return 0, 0, err
-		}
-		v, err := e.Expectation(op)
-		if err != nil {
-			return 0, 0, err
-		}
-		x := e.Weight() * v
-		sum += x
-		sumSq += x * x
+	p, err := Compile(c)
+	if err != nil {
+		return 0, 0, err
 	}
-	n := float64(shots)
-	mean = sum / n
-	if shots > 1 {
-		varr := (sumSq - sum*sum/n) / (n - 1)
-		if varr < 0 {
-			varr = 0
-		}
-		stderr = math.Sqrt(varr / n)
-	}
-	return mean, stderr, nil
+	return EstimateBatch(p, op, shots, seed, 0)
 }

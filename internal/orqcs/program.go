@@ -1,0 +1,302 @@
+// Compile-once/run-many support: a Program is the lowered form of a circuit
+// in which all ion movement and site bookkeeping has been resolved ahead of
+// time, so that the per-shot inner loop is pure integer and bit work — no
+// map lookups, no sorting, no allocation. This mirrors the compile-then-
+// execute split of resource-estimation pipelines: the Monte-Carlo
+// verification workflow of TISCC Sec 4 runs hundreds of shots of the same
+// circuit, and only the stabilizer updates differ between shots.
+package orqcs
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tiscc/internal/circuit"
+	"tiscc/internal/grid"
+	"tiscc/internal/pauli"
+)
+
+// OpCode names one lowered per-shot operation. Movement and well
+// reconfiguration never appear: they are resolved at compile time.
+type OpCode uint8
+
+// Lowered operation set.
+const (
+	OpPrepareZ OpCode = iota
+	OpMeasureZ
+	OpX
+	OpSqrtX
+	OpSqrtXDg
+	OpY
+	OpSqrtY
+	OpSqrtYDg
+	OpZ
+	OpS
+	OpSdg
+	OpT   // quasi-probability sample of the Z_{π/8} channel
+	OpTdg // quasi-probability sample of the Z_{−π/8} channel
+	OpZZ
+)
+
+// Instr is one lowered instruction, addressed by tableau qubit index.
+type Instr struct {
+	Q1, Q2 int32 // qubit indices (Q2 = -1 for one-qubit operations)
+	Rec    int32 // record index for OpMeasureZ, -1 otherwise
+	Op     OpCode
+}
+
+// Program is the compiled, immutable form of a circuit: safe for concurrent
+// use by any number of engines.
+type Program struct {
+	n       int
+	instrs  []Instr
+	finalAt map[grid.Site]int // site → qubit after the last movement
+	numT    int
+}
+
+// Compile lowers a circuit into a Program. It runs the movement semantics
+// (the walkPositions pass) exactly once: every event is resolved to the
+// tableau qubit index of the ion resting at its site at that point in time,
+// and the final site-occupancy map is captured for end-of-circuit
+// expectation queries.
+func Compile(c *circuit.Circuit) (*Program, error) {
+	p := &Program{finalAt: map[grid.Site]int{}}
+	// touched[q] reports whether any state-changing instruction has been
+	// emitted for qubit q. Every birth yields a fresh tableau qubit in |0⟩,
+	// so a first-touch Prepare_Z is constant-folded away at compile time —
+	// in surface-code circuits that is nearly every preparation event.
+	var touched []bool
+	err := walkPositions(c,
+		func(s grid.Site) int {
+			q := p.n
+			p.n++
+			p.finalAt[s] = q
+			touched = append(touched, false)
+			return q
+		},
+		func(e circuit.Event, q1, q2 int) error {
+			in := Instr{Q1: int32(q1), Q2: -1, Rec: -1}
+			switch e.Gate {
+			case circuit.Move:
+				delete(p.finalAt, e.S1)
+				p.finalAt[e.S2] = q1
+				return nil
+			case circuit.MergeWells, circuit.SplitWells, circuit.Cool:
+				// Trivial on the computational state.
+				return nil
+			case circuit.PrepareZ:
+				if !touched[q1] {
+					touched[q1] = true
+					return nil // fresh qubit is already |0⟩
+				}
+				in.Op = OpPrepareZ
+			case circuit.MeasureZ:
+				in.Op, in.Rec = OpMeasureZ, e.Record
+			case circuit.XPi2:
+				in.Op = OpX
+			case circuit.XPi4:
+				in.Op = OpSqrtX
+			case circuit.XmPi4:
+				in.Op = OpSqrtXDg
+			case circuit.YPi2:
+				in.Op = OpY
+			case circuit.YPi4:
+				in.Op = OpSqrtY
+			case circuit.YmPi4:
+				in.Op = OpSqrtYDg
+			case circuit.ZPi2:
+				in.Op = OpZ
+			case circuit.ZPi4:
+				in.Op = OpS
+			case circuit.ZmPi4:
+				in.Op = OpSdg
+			case circuit.ZPi8:
+				in.Op = OpT
+				p.numT++
+			case circuit.ZmPi8:
+				in.Op = OpTdg
+				p.numT++
+			case circuit.ZZ:
+				in.Op, in.Q2 = OpZZ, int32(q2)
+			default:
+				return fmt.Errorf("orqcs: unknown gate %q", e.Gate)
+			}
+			touched[q1] = true
+			if q2 >= 0 {
+				touched[q2] = true
+			}
+			p.instrs = append(p.instrs, in)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// NumQubits returns the number of tableau qubits the program addresses.
+func (p *Program) NumQubits() int { return p.n }
+
+// NumInstrs returns the length of the lowered instruction stream.
+func (p *Program) NumInstrs() int { return len(p.instrs) }
+
+// NumTGates returns the number of non-Clifford (±π/8) gates; the
+// quasi-probability sampling overhead of an estimate is γ^(2·NumTGates).
+func (p *Program) NumTGates() int { return p.numT }
+
+// Clifford reports whether the program is free of non-Clifford gates (one
+// shot then yields exact expectations).
+func (p *Program) Clifford() bool { return p.numT == 0 }
+
+// QubitAt resolves the tableau qubit of the ion resting at s after the
+// program has run.
+func (p *Program) QubitAt(s grid.Site) (int, bool) {
+	q, ok := p.finalAt[s]
+	return q, ok
+}
+
+// PauliFor builds the tableau-indexed Pauli string for a site-keyed
+// operator, resolved against the program's final ion positions. The result
+// is immutable under engine runs, so it can be built once and evaluated
+// against every shot.
+func (p *Program) PauliFor(op SitePauli) (*pauli.String, error) {
+	ps := pauli.NewString(p.n)
+	for s, k := range op {
+		q, ok := p.finalAt[s]
+		if !ok {
+			return nil, fmt.Errorf("orqcs: no ion at site %v", s)
+		}
+		ps.SetKind(q, k)
+	}
+	return ps, nil
+}
+
+// --- Deterministic per-shot seeding -----------------------------------------
+
+// splitmix64 is the SplitMix64 output function (Steele, Lea & Flood 2014).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// ShotSeed derives the RNG seed of one shot from a base seed. The derivation
+// depends only on (base, shot), never on worker scheduling, so multi-shot
+// runs are reproducible for any worker count.
+func ShotSeed(base int64, shot int) int64 {
+	return int64(splitmix64(uint64(base) + 0x9E3779B97F4A7C15*uint64(shot)))
+}
+
+// --- Multi-shot runners ------------------------------------------------------
+
+// RunShots executes shots runs of the program across a worker pool. Each
+// worker owns one reusable Engine (compiled state, preallocated tableau);
+// shot i always runs with ShotSeed(seed, i), so results are independent of
+// the worker count. workers ≤ 0 selects GOMAXPROCS.
+//
+// visit, if non-nil, is called after every completed shot with the engine
+// that ran it. Calls happen concurrently from different workers (always for
+// distinct shot indices), and the engine's state — records included — is
+// only valid until that worker starts its next shot: copy anything that
+// must outlive the call. A non-nil error from visit stops the run.
+func RunShots(p *Program, shots int, seed int64, workers int, visit func(shot int, e *Engine) error) error {
+	if shots <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shots {
+		workers = shots
+	}
+	if workers == 1 {
+		e := NewFromProgram(p)
+		for i := 0; i < shots; i++ {
+			e.RunShot(ShotSeed(seed, i))
+			if visit != nil {
+				if err := visit(i, e); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		stop    atomic.Bool
+		errOnce sync.Once
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := NewFromProgram(p)
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= shots {
+					return
+				}
+				e.RunShot(ShotSeed(seed, i))
+				if visit != nil {
+					if err := visit(i, e); err != nil {
+						errOnce.Do(func() { firstEr = err })
+						stop.Store(true)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}
+
+// EstimateBatch Monte-Carlo-estimates ⟨op⟩ over a compiled program: the
+// compile-once/run-many counterpart of Estimate. The operator is resolved to
+// qubit indices once, every worker reuses its engine state across shots, and
+// the reduction runs in shot order so that the returned mean and standard
+// error are bit-identical for every worker count.
+func EstimateBatch(p *Program, op SitePauli, shots int, seed int64, workers int) (mean, stderr float64, err error) {
+	if shots <= 0 {
+		return 0, 0, fmt.Errorf("orqcs: EstimateBatch needs shots ≥ 1, got %d", shots)
+	}
+	ps, err := p.PauliFor(op)
+	if err != nil {
+		return 0, 0, err
+	}
+	vals := make([]float64, shots)
+	if err := RunShots(p, shots, seed, workers, func(i int, e *Engine) error {
+		vals[i] = e.weight * e.tb.ExpectationValue(ps)
+		return nil
+	}); err != nil {
+		return 0, 0, err
+	}
+	mean, stderr = meanStderr(vals)
+	return mean, stderr, nil
+}
+
+// meanStderr reduces per-shot weighted values to (mean, standard error of
+// the mean), summing in index order for worker-count-independent floats.
+func meanStderr(vals []float64) (mean, stderr float64) {
+	var sum, sumSq float64
+	for _, x := range vals {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(vals))
+	mean = sum / n
+	if len(vals) > 1 {
+		varr := (sumSq - sum*sum/n) / (n - 1)
+		if varr < 0 {
+			varr = 0
+		}
+		stderr = math.Sqrt(varr / n)
+	}
+	return mean, stderr
+}

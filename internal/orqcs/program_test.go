@@ -1,0 +1,258 @@
+package orqcs
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"tiscc/internal/circuit"
+	"tiscc/internal/grid"
+	"tiscc/internal/hardware"
+	"tiscc/internal/pauli"
+)
+
+// buildTPlus returns a small non-Clifford circuit: T|+⟩ on one bare ion.
+func buildTPlus(t testing.TB) (*circuit.Circuit, grid.Site) {
+	t.Helper()
+	g := grid.New(1, 1)
+	b := hardware.NewBuilder(g, hardware.Default())
+	s := grid.Site{R: 0, C: 2}
+	ion := b.MustAddIon(s)
+	b.Prepare(ion)
+	b.Hadamard(ion)
+	b.Gate1(circuit.ZPi8, ion)
+	return b.Build(), s
+}
+
+func TestCompileLowersMovementAway(t *testing.T) {
+	c, s1, s2 := buildBell(t)
+	p, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumQubits() != 2 {
+		t.Fatalf("qubits = %d, want 2", p.NumQubits())
+	}
+	if !p.Clifford() || p.NumTGates() != 0 {
+		t.Fatalf("bell circuit should compile as Clifford")
+	}
+	for i := 0; i < p.NumInstrs(); i++ {
+		if p.instrs[i].Op == OpMeasureZ && p.instrs[i].Rec < 0 {
+			t.Fatal("measure instruction lost its record index")
+		}
+	}
+	if _, ok := p.QubitAt(s1); !ok {
+		t.Fatalf("no qubit at %v", s1)
+	}
+	if _, ok := p.QubitAt(s2); !ok {
+		t.Fatalf("no qubit at %v", s2)
+	}
+}
+
+// TestCompiledMatchesRunOnce pins the compiled path to the reference
+// single-shot semantics: same seed ⇒ same records and expectations.
+func TestCompiledMatchesRunOnce(t *testing.T) {
+	c, s1, s2 := buildBell(t)
+	ref, err := RunOnce(c, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewFromProgram(p)
+	e.RunShot(77)
+	op := SitePauli{s1: pauli.X, s2: pauli.X}
+	vr, _ := ref.Expectation(op)
+	ve, _ := e.Expectation(op)
+	if vr != ve {
+		t.Fatalf("expectation %v vs %v", vr, ve)
+	}
+	if len(ref.Records()) != len(e.Records()) {
+		t.Fatalf("record tables differ in size")
+	}
+	for k, v := range ref.Records() {
+		if e.Records()[k] != v {
+			t.Fatalf("record %d: %v vs %v", k, v, e.Records()[k])
+		}
+	}
+}
+
+// TestEngineReuseMatchesFreshEngine verifies that RunShot fully resets the
+// reused state: a recycled engine must reproduce a fresh engine bit for bit.
+func TestEngineReuseMatchesFreshEngine(t *testing.T) {
+	c, s := buildTPlus(t)
+	p, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumTGates() != 1 {
+		t.Fatalf("T gates = %d, want 1", p.NumTGates())
+	}
+	reused := NewFromProgram(p)
+	op := SitePauli{s: pauli.X}
+	for _, seed := range []int64{3, 99, 3, 42, 99} {
+		reused.RunShot(seed)
+		fresh := NewFromProgram(p)
+		fresh.RunShot(seed)
+		if reused.Weight() != fresh.Weight() {
+			t.Fatalf("seed %d: weight %v vs %v", seed, reused.Weight(), fresh.Weight())
+		}
+		vr, _ := reused.Expectation(op)
+		vf, _ := fresh.Expectation(op)
+		if vr != vf {
+			t.Fatalf("seed %d: expectation %v vs %v", seed, vr, vf)
+		}
+		if len(reused.Records()) != len(fresh.Records()) {
+			t.Fatalf("seed %d: record tables differ in size", seed)
+		}
+		for k, v := range fresh.Records() {
+			if reused.Records()[k] != v {
+				t.Fatalf("seed %d: record %d differs", seed, k)
+			}
+		}
+	}
+}
+
+// shotTrace captures the observable outcome of one shot for comparison.
+type shotTrace struct {
+	weight float64
+	recs   []int32 // sorted record ids with value true
+}
+
+func traceOf(e *Engine) shotTrace {
+	tr := shotTrace{weight: e.Weight()}
+	for id, v := range e.Records() {
+		if v {
+			tr.recs = append(tr.recs, id)
+		}
+	}
+	sort.Slice(tr.recs, func(i, j int) bool { return tr.recs[i] < tr.recs[j] })
+	return tr
+}
+
+func (tr shotTrace) equal(o shotTrace) bool {
+	if tr.weight != o.weight || len(tr.recs) != len(o.recs) {
+		return false
+	}
+	for i := range tr.recs {
+		if tr.recs[i] != o.recs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRunShotsDeterministicAcrossWorkers checks the tentpole reproducibility
+// guarantee: same circuit + same seed ⇒ identical per-shot measurement
+// records and weights for 1, 4 and 8 workers.
+func TestRunShotsDeterministicAcrossWorkers(t *testing.T) {
+	c, _ := buildTPlus(t)
+	p, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shots = 64
+	run := func(workers int) []shotTrace {
+		traces := make([]shotTrace, shots)
+		if err := RunShots(p, shots, 12345, workers, func(i int, e *Engine) error {
+			traces[i] = traceOf(e) // copies the per-shot state it keeps
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return traces
+	}
+	ref := run(1)
+	for _, workers := range []int{4, 8} {
+		got := run(workers)
+		for i := range ref {
+			if !ref[i].equal(got[i]) {
+				t.Fatalf("workers=%d: shot %d trace diverged (%v vs %v)", workers, i, ref[i], got[i])
+			}
+		}
+	}
+}
+
+// TestEstimateBatchDeterministicAcrossWorkers checks that the reduced mean
+// and stderr are bit-identical for 1, 4 and 8 workers and across reruns.
+func TestEstimateBatchDeterministicAcrossWorkers(t *testing.T) {
+	c, s := buildTPlus(t)
+	p, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := SitePauli{s: pauli.X}
+	const shots, seed = 200, 7
+	refMean, refErr, err := EstimateBatch(p, op, shots, seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		for rerun := 0; rerun < 2; rerun++ {
+			m, se, err := EstimateBatch(p, op, shots, seed, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m != refMean || se != refErr {
+				t.Fatalf("workers=%d rerun=%d: %v±%v, want %v±%v", workers, rerun, m, se, refMean, refErr)
+			}
+		}
+	}
+	// A different seed must (overwhelmingly) give a different sample.
+	m2, _, err := EstimateBatch(p, op, shots, seed+1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 == refMean {
+		t.Logf("warning: distinct seeds produced identical means (possible but unlikely)")
+	}
+}
+
+// TestEstimateBatchConverges sanity-checks the statistics on the known
+// T|+⟩ state: ⟨X⟩ → cos(π/4) = 1/√2.
+func TestEstimateBatchConverges(t *testing.T) {
+	c, s := buildTPlus(t)
+	p, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, stderr, err := EstimateBatch(p, SitePauli{s: pauli.X}, 40000, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / math.Sqrt2
+	if math.Abs(mean-want) > 5*stderr+0.01 {
+		t.Fatalf("⟨X⟩ = %.4f ± %.4f, want %.4f", mean, stderr, want)
+	}
+}
+
+// TestEstimateBatchErrors covers the error paths: empty site and bad shots.
+func TestEstimateBatchErrors(t *testing.T) {
+	c, _ := buildTPlus(t)
+	p, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := EstimateBatch(p, SitePauli{{R: 9, C: 9}: pauli.X}, 10, 1, 1); err == nil {
+		t.Fatal("expected error for operator on empty site")
+	}
+	if _, _, err := EstimateBatch(p, SitePauli{}, 0, 1, 1); err == nil {
+		t.Fatal("expected error for zero shots")
+	}
+}
+
+// TestShotSeedStable pins the seed derivation so that stored verification
+// results stay reproducible across releases.
+func TestShotSeedStable(t *testing.T) {
+	if ShotSeed(1, 0) == ShotSeed(1, 1) {
+		t.Fatal("consecutive shots share a seed")
+	}
+	if ShotSeed(1, 5) == ShotSeed(2, 5) {
+		t.Fatal("distinct base seeds share a shot seed")
+	}
+	if got := ShotSeed(1, 0); got != ShotSeed(1, 0) {
+		t.Fatalf("ShotSeed not pure: %d", got)
+	}
+}

@@ -229,6 +229,28 @@ func (p *String) Support() []int {
 	return s
 }
 
+// SingleQubit reports whether p acts non-trivially on exactly one qubit,
+// returning that qubit and its Pauli kind. Weight-one operators admit O(1)
+// anticommutation tests, which the stabilizer simulator's measurement and
+// reset hot paths exploit.
+func (p *String) SingleQubit() (int, Kind, bool) {
+	q := -1
+	for w := range p.XBits {
+		m := p.XBits[w] | p.ZBits[w]
+		if m == 0 {
+			continue
+		}
+		if q >= 0 || m&(m-1) != 0 {
+			return 0, I, false
+		}
+		q = w*64 + bits.TrailingZeros64(m)
+	}
+	if q < 0 {
+		return 0, I, false
+	}
+	return q, p.Kind(q), true
+}
+
 // IsIdentity reports whether p is the identity operator up to phase.
 func (p *String) IsIdentity() bool { return p.XBits.IsZero() && p.ZBits.IsZero() }
 

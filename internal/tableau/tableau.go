@@ -50,20 +50,26 @@ type T struct {
 	rng         *rand.Rand // nil → symbolic mode
 	records     map[int32]bool
 	scratch     Row
+	single      *pauli.String // reusable weight-≤1 scratch operator
+	singleQ     int           // qubit the scratch operator currently acts on
 	nextVirtual int32
+}
+
+// initialVirtual returns the first virtual id of the tableau's mode range.
+func (t *T) initialVirtual() int32 {
+	// Disjoint virtual-id ranges: concrete mode uses even negatives,
+	// symbolic mode odd ones.
+	if t.rng != nil {
+		return -2
+	}
+	return -1
 }
 
 // New returns a tableau over n qubits, all initialized to |0⟩. If rng is
 // nil the tableau runs in symbolic mode.
 func New(n int, rng *rand.Rand) *T {
 	t := &T{n: n, rng: rng, records: make(map[int32]bool)}
-	// Disjoint virtual-id ranges: concrete mode uses even negatives,
-	// symbolic mode odd ones.
-	if rng != nil {
-		t.nextVirtual = -2
-	} else {
-		t.nextVirtual = -1
-	}
+	t.nextVirtual = t.initialVirtual()
 	t.destab = make([]Row, n)
 	t.stab = make([]Row, n)
 	for i := 0; i < n; i++ {
@@ -107,84 +113,140 @@ func (t *T) Clone(rng *rand.Rand) *T {
 	return c
 }
 
-// forEachRow applies f to every row, including observables.
-func (t *T) forEachRow(f func(r *Row)) {
-	for i := range t.destab {
-		f(&t.destab[i])
+// ResetAll reinitializes the tableau to the all-|0⟩ state in place, reusing
+// every allocation (rows, scratch, record table). It is the state-reuse hook
+// of the compile-once/run-many simulation path: a fresh shot costs zero
+// heap allocations.
+func (t *T) ResetAll() {
+	for i := 0; i < t.n; i++ {
+		d, s := &t.destab[i], &t.stab[i]
+		for w := range d.X {
+			d.X[w], d.Z[w], s.X[w], s.Z[w] = 0, 0, 0, 0
+		}
+		d.X.Set(i, true)
+		s.Z.Set(i, true)
+		d.K, s.K = 0, 0
+		d.Sym, s.Sym = expr.Expr{}, expr.Expr{}
 	}
-	for i := range t.stab {
-		f(&t.stab[i])
-	}
-	for i := range t.obs {
-		f(&t.obs[i])
-	}
+	t.obs = t.obs[:0]
+	clear(t.records)
+	t.nextVirtual = t.initialVirtual()
 }
+
+// singlePauli returns the reusable weight-one scratch operator set to Pauli k
+// on qubit q. The returned string is only valid until the next singlePauli
+// call; callers must not retain it (MeasurePauli and ConditionalPauli copy
+// what they need).
+func (t *T) singlePauli(q int, k pauli.Kind) *pauli.String {
+	if t.single == nil {
+		t.single = pauli.NewString(t.n)
+		t.singleQ = q
+	}
+	t.single.SetKind(t.singleQ, pauli.I)
+	t.single.SetKind(q, k)
+	t.singleQ = q
+	return t.single
+}
+
+// groups returns the three row groups (destabilizers, stabilizers,
+// observables). Gates iterate them directly so the per-row update inlines
+// into a tight loop instead of dispatching a closure per row — gate
+// application is the innermost loop of the run-many simulation path.
+func (t *T) groups() [3][]Row { return [3][]Row{t.destab, t.stab, t.obs} }
 
 // --- Gates -----------------------------------------------------------------
 
 // H applies a Hadamard on qubit q.
 func (t *T) H(q int) {
-	t.forEachRow(func(r *Row) {
-		x, z := r.X.Get(q), r.Z.Get(q)
-		if x && z {
-			r.K = (r.K + 2) % 4
+	for _, rows := range t.groups() {
+		for i := range rows {
+			r := &rows[i]
+			x, z := r.X.Get(q), r.Z.Get(q)
+			if x && z {
+				r.K = (r.K + 2) % 4
+			}
+			r.X.Set(q, z)
+			r.Z.Set(q, x)
 		}
-		r.X.Set(q, z)
-		r.Z.Set(q, x)
-	})
+	}
 }
 
 // S applies the phase gate (≡ Z_{π/4} up to global phase) on qubit q.
 func (t *T) S(q int) {
-	t.forEachRow(func(r *Row) {
-		if r.X.Get(q) {
-			r.K = (r.K + 1) % 4
-			r.Z.Flip(q)
+	for _, rows := range t.groups() {
+		for i := range rows {
+			r := &rows[i]
+			if r.X.Get(q) {
+				r.K = (r.K + 1) % 4
+				r.Z.Flip(q)
+			}
 		}
-	})
+	}
 }
 
-// Sdg applies the inverse phase gate on qubit q.
-func (t *T) Sdg(q int) { t.S(q); t.S(q); t.S(q) }
+// Sdg applies the inverse phase gate on qubit q (fused S³: one row pass).
+func (t *T) Sdg(q int) {
+	for _, rows := range t.groups() {
+		for i := range rows {
+			r := &rows[i]
+			if r.X.Get(q) {
+				r.K = (r.K + 3) % 4
+				r.Z.Flip(q)
+			}
+		}
+	}
+}
 
 // X applies Pauli X on qubit q.
 func (t *T) X(q int) {
-	t.forEachRow(func(r *Row) {
-		if r.Z.Get(q) {
-			r.K = (r.K + 2) % 4
+	for _, rows := range t.groups() {
+		for i := range rows {
+			r := &rows[i]
+			if r.Z.Get(q) {
+				r.K = (r.K + 2) % 4
+			}
 		}
-	})
+	}
 }
 
 // Z applies Pauli Z on qubit q.
 func (t *T) Z(q int) {
-	t.forEachRow(func(r *Row) {
-		if r.X.Get(q) {
-			r.K = (r.K + 2) % 4
+	for _, rows := range t.groups() {
+		for i := range rows {
+			r := &rows[i]
+			if r.X.Get(q) {
+				r.K = (r.K + 2) % 4
+			}
 		}
-	})
+	}
 }
 
 // Y applies Pauli Y on qubit q.
 func (t *T) Y(q int) {
-	t.forEachRow(func(r *Row) {
-		if r.X.Get(q) != r.Z.Get(q) {
-			r.K = (r.K + 2) % 4
+	for _, rows := range t.groups() {
+		for i := range rows {
+			r := &rows[i]
+			if r.X.Get(q) != r.Z.Get(q) {
+				r.K = (r.K + 2) % 4
+			}
 		}
-	})
+	}
 }
 
 // CX applies a CNOT with control c and target d. In the i^K representation
 // the update is phase-free: x_d ^= x_c, z_c ^= z_d.
 func (t *T) CX(c, d int) {
-	t.forEachRow(func(r *Row) {
-		if r.X.Get(c) {
-			r.X.Flip(d)
+	for _, rows := range t.groups() {
+		for i := range rows {
+			r := &rows[i]
+			if r.X.Get(c) {
+				r.X.Flip(d)
+			}
+			if r.Z.Get(d) {
+				r.Z.Flip(c)
+			}
 		}
-		if r.Z.Get(d) {
-			r.Z.Flip(c)
-		}
-	})
+	}
 }
 
 // CZ applies a controlled-Z between a and b.
@@ -192,50 +254,75 @@ func (t *T) CZ(a, b int) { t.H(b); t.CX(a, b); t.H(b) }
 
 // SqrtX applies X_{π/4} = e^{-iπX/4} (conjugation: Z→Y, Y→−Z).
 func (t *T) SqrtX(q int) {
-	t.forEachRow(func(r *Row) {
-		if r.Z.Get(q) {
-			r.K = (r.K + 1) % 4
-			r.X.Flip(q)
+	for _, rows := range t.groups() {
+		for i := range rows {
+			r := &rows[i]
+			if r.Z.Get(q) {
+				r.K = (r.K + 1) % 4
+				r.X.Flip(q)
+			}
 		}
-	})
+	}
 }
 
 // SqrtXDg applies X_{-π/4} (conjugation: Z→−Y, Y→Z).
 func (t *T) SqrtXDg(q int) {
-	t.forEachRow(func(r *Row) {
-		if r.Z.Get(q) {
-			r.K = (r.K + 3) % 4
-			r.X.Flip(q)
+	for _, rows := range t.groups() {
+		for i := range rows {
+			r := &rows[i]
+			if r.Z.Get(q) {
+				r.K = (r.K + 3) % 4
+				r.X.Flip(q)
+			}
 		}
-	})
+	}
 }
 
 // SqrtY applies Y_{π/4} = e^{-iπY/4} (conjugation: X→−Z, Z→X).
 func (t *T) SqrtY(q int) {
-	t.forEachRow(func(r *Row) {
-		x, z := r.X.Get(q), r.Z.Get(q)
-		if x && !z {
-			r.K = (r.K + 2) % 4
+	for _, rows := range t.groups() {
+		for i := range rows {
+			r := &rows[i]
+			x, z := r.X.Get(q), r.Z.Get(q)
+			if x && !z {
+				r.K = (r.K + 2) % 4
+			}
+			r.X.Set(q, z)
+			r.Z.Set(q, x)
 		}
-		r.X.Set(q, z)
-		r.Z.Set(q, x)
-	})
+	}
 }
 
 // SqrtYDg applies Y_{-π/4} (conjugation: X→Z, Z→−X).
 func (t *T) SqrtYDg(q int) {
-	t.forEachRow(func(r *Row) {
-		x, z := r.X.Get(q), r.Z.Get(q)
-		if !x && z {
-			r.K = (r.K + 2) % 4
+	for _, rows := range t.groups() {
+		for i := range rows {
+			r := &rows[i]
+			x, z := r.X.Get(q), r.Z.Get(q)
+			if !x && z {
+				r.K = (r.K + 2) % 4
+			}
+			r.X.Set(q, z)
+			r.Z.Set(q, x)
 		}
-		r.X.Set(q, z)
-		r.Z.Set(q, x)
-	})
+	}
 }
 
-// ZZ applies the native two-qubit entangling gate e^{-iπ Z⊗Z/4}.
-func (t *T) ZZ(a, b int) { t.CX(a, b); t.S(b); t.CX(a, b) }
+// ZZ applies the native two-qubit entangling gate e^{-iπ Z⊗Z/4}. The update
+// is the fusion of CX(a,b)·S(b)·CX(a,b) into a single row pass: rows with
+// X content on exactly one of the two qubits pick up i and flip both Z bits.
+func (t *T) ZZ(a, b int) {
+	for _, rows := range t.groups() {
+		for i := range rows {
+			r := &rows[i]
+			if r.X.Get(a) != r.X.Get(b) {
+				r.K = (r.K + 1) % 4
+				r.Z.Flip(a)
+				r.Z.Flip(b)
+			}
+		}
+	}
+}
 
 // --- Row algebra ------------------------------------------------------------
 
@@ -254,30 +341,54 @@ func anticommutes(r *Row, p *pauli.String) bool {
 	return (r.X.AndCount(p.ZBits)+r.Z.AndCount(p.XBits))%2 == 1
 }
 
+// antiP is anticommutes with a precomputed weight-one fast path: when p is
+// the single Pauli sk on qubit sq (single == true), the symplectic product
+// collapses to one or two bit tests. Measurement and reset are dominated by
+// these tests, and in compiled circuits nearly every measured operator is a
+// single-site Z.
+func antiP(r *Row, p *pauli.String, sq int, sk pauli.Kind, single bool) bool {
+	if single {
+		switch sk {
+		case pauli.Z:
+			return r.X.Get(sq)
+		case pauli.X:
+			return r.Z.Get(sq)
+		default:
+			return r.X.Get(sq) != r.Z.Get(sq)
+		}
+	}
+	return anticommutes(r, p)
+}
+
 // --- Measurement ------------------------------------------------------------
 
 // Outcome describes one measurement.
 type Outcome struct {
 	Record        int32     // record index assigned to this measurement
 	Deterministic bool      // whether the outcome was forced by the state
-	Expr          expr.Expr // value as a formula (== {Record} always valid)
 	Derived       expr.Expr // for deterministic outcomes: value in terms of earlier records
 }
+
+// Expr returns the outcome's value as a formula (always the single record
+// reference). It is computed on demand so that the measurement hot path
+// allocates nothing.
+func (o Outcome) Expr() expr.Expr { return expr.FromID(o.Record) }
 
 // Value returns the concrete bit of the outcome in concrete mode.
 func (t *T) Value(o Outcome) bool { return t.records[o.Record] }
 
 // MeasurePauli measures the Hermitian Pauli p, assigning record index rec.
 // In concrete mode the sampled/derived bit is stored in the record table.
-// The returned Outcome.Expr is always expr.FromID(rec).
+// The outcome's value formula is always Outcome.Expr() == {rec}.
 func (t *T) MeasurePauli(p *pauli.String, rec int32) Outcome {
 	if !p.Hermitian() {
 		panic("tableau: measuring non-Hermitian Pauli " + p.String())
 	}
+	sq, sk, single := p.SingleQubit()
 	// Find an anticommuting stabilizer.
 	ip := -1
 	for i := 0; i < t.n; i++ {
-		if anticommutes(&t.stab[i], p) {
+		if antiP(&t.stab[i], p, sq, sk, single) {
 			ip = i
 			break
 		}
@@ -285,7 +396,7 @@ func (t *T) MeasurePauli(p *pauli.String, rec int32) Outcome {
 	if ip < 0 {
 		// Deterministic outcome.
 		derived := t.deterministicValue(p)
-		out := Outcome{Record: rec, Deterministic: true, Expr: expr.FromID(rec), Derived: derived}
+		out := Outcome{Record: rec, Deterministic: true, Derived: derived}
 		if t.rng != nil {
 			t.records[rec] = derived.Eval(t.records)
 		}
@@ -300,28 +411,36 @@ func (t *T) MeasurePauli(p *pauli.String, rec int32) Outcome {
 	} else {
 		sym = expr.FromID(rec)
 	}
-	old := Row{X: t.stab[ip].X.Clone(), Z: t.stab[ip].Z.Clone(), K: t.stab[ip].K, Sym: t.stab[ip].Sym}
 	// Fix every other anticommuting row by multiplying in the old stabilizer.
+	// Row ip itself is referenced in place (the fix loops never touch it) and
+	// its storage is recycled below, so no row is cloned.
+	old := &t.stab[ip]
 	for i := range t.destab {
-		if anticommutes(&t.destab[i], p) {
-			mulInto(&t.destab[i], &old)
+		if i != ip && antiP(&t.destab[i], p, sq, sk, single) {
+			mulInto(&t.destab[i], old)
 		}
 	}
 	for i := range t.stab {
-		if i != ip && anticommutes(&t.stab[i], p) {
-			mulInto(&t.stab[i], &old)
+		if i != ip && antiP(&t.stab[i], p, sq, sk, single) {
+			mulInto(&t.stab[i], old)
 		}
 	}
 	for i := range t.obs {
-		if anticommutes(&t.obs[i], p) {
-			mulInto(&t.obs[i], &old)
+		if antiP(&t.obs[i], p, sq, sk, single) {
+			mulInto(&t.obs[i], old)
 		}
 	}
-	// Old stabilizer becomes the destabilizer of the new one.
-	t.destab[ip] = old
-	// New stabilizer is (−1)^outcome · p.
-	t.stab[ip] = Row{X: p.XBits.Clone(), Z: p.ZBits.Clone(), K: p.Phase % 4, Sym: sym}
-	return Outcome{Record: rec, Deterministic: false, Expr: expr.FromID(rec)}
+	// Old stabilizer becomes the destabilizer of the new one; the displaced
+	// destabilizer row donates its bit storage to the new stabilizer
+	// (−1)^outcome · p.
+	recycled := t.destab[ip]
+	t.destab[ip] = t.stab[ip]
+	copy(recycled.X, p.XBits)
+	copy(recycled.Z, p.ZBits)
+	recycled.K = p.Phase % 4
+	recycled.Sym = sym
+	t.stab[ip] = recycled
+	return Outcome{Record: rec, Deterministic: false}
 }
 
 // deterministicValue computes the value expression of a Pauli p that
@@ -332,8 +451,9 @@ func (t *T) deterministicValue(p *pauli.String) expr.Expr {
 		sc.X[i], sc.Z[i] = 0, 0
 	}
 	sc.K, sc.Sym = 0, expr.Zero()
+	sq, sk, single := p.SingleQubit()
 	for i := 0; i < t.n; i++ {
-		if anticommutes(&t.destab[i], p) {
+		if antiP(&t.destab[i], p, sq, sk, single) {
 			mulInto(sc, &t.stab[i])
 		}
 	}
@@ -393,9 +513,8 @@ func (t *T) VirtualID() int32 {
 // content with the reset qubit keep consistent signs; the implicit outcome
 // is recorded under a virtual (negative) id.
 func (t *T) Reset(q int) {
-	zq := pauli.Single(t.n, q, pauli.Z)
 	rec := t.VirtualID()
-	o := t.MeasurePauli(zq, rec)
+	o := t.MeasurePauli(t.singlePauli(q, pauli.Z), rec)
 	var e expr.Expr
 	switch {
 	case t.rng != nil:
@@ -405,20 +524,35 @@ func (t *T) Reset(q int) {
 	default:
 		e = expr.FromID(rec)
 	}
-	t.ConditionalPauli(pauli.Single(t.n, q, pauli.X), e)
+	t.ConditionalPauli(t.singlePauli(q, pauli.X), e)
+}
+
+// MeasureZ measures Pauli Z on qubit q under record index rec without
+// allocating the measurement operator (the hot path of compiled programs).
+func (t *T) MeasureZ(q int, rec int32) Outcome {
+	return t.MeasurePauli(t.singlePauli(q, pauli.Z), rec)
 }
 
 // ConditionalPauli applies the Pauli p conditioned on the (symbolic) bit e:
 // every row anticommuting with p has its sign multiplied by (−1)^e. With a
 // constant-true e this is an ordinary Pauli gate; with a record expression
 // it implements classically controlled corrections; with a virtual id it
-// marks a value as symbolically unknown.
+// marks a value as symbolically unknown. A constant-false e is a no-op and
+// returns without touching the rows (in concrete mode half of all reset
+// corrections take this exit).
 func (t *T) ConditionalPauli(p *pauli.String, e expr.Expr) {
-	t.forEachRow(func(r *Row) {
-		if anticommutes(r, p) {
-			r.Sym = r.Sym.Xor(e)
+	if len(e.IDs) == 0 && !e.Const {
+		return
+	}
+	sq, sk, single := p.SingleQubit()
+	for _, rows := range t.groups() {
+		for i := range rows {
+			r := &rows[i]
+			if antiP(r, p, sq, sk, single) {
+				r.Sym = r.Sym.Xor(e)
+			}
 		}
-	})
+	}
 }
 
 // Swap exchanges the states of qubits a and b (three CNOTs).

@@ -150,8 +150,8 @@ func TestSymbolicMeasurement(t *testing.T) {
 	if o.Deterministic {
 		t.Fatal("Z on |+⟩ must be random")
 	}
-	if !o.Expr.Equal(expr.FromID(7)) {
-		t.Fatalf("outcome expr = %v", o.Expr)
+	if !o.Expr().Equal(expr.FromID(7)) {
+		t.Fatalf("outcome expr = %v", o.Expr())
 	}
 	// Re-measuring Z must be deterministic with derived = m7.
 	o2 := tb.MeasurePauli(mustParse(t, "+Z"), 8)

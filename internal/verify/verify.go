@@ -175,10 +175,12 @@ func StatePrep(dx, dz int, arr core.Arrangement, p PrepKind, withRound bool, see
 			return tomo.Bloch{}, err
 		}
 	}
-	eng, err := orqcs.RunOnce(c.Build(), seed)
+	prog, err := orqcs.Compile(c.Build())
 	if err != nil {
 		return tomo.Bloch{}, err
 	}
+	eng := orqcs.NewFromProgram(prog)
+	eng.RunShot(seed)
 	return BlochOf(c, lq, eng)
 }
 
@@ -232,10 +234,12 @@ func OneTileChannel(dx, dz int, arr core.Arrangement, op OneTileOp, rounds int, 
 		if err := applyOp(lq, op, rounds); err != nil {
 			return tomo.Channel{}, fmt.Errorf("%v on %v input: %w", op, p, err)
 		}
-		eng, err := orqcs.RunOnce(c.Build(), seed+int64(i))
+		prog, err := orqcs.Compile(c.Build())
 		if err != nil {
 			return tomo.Channel{}, err
 		}
+		eng := orqcs.NewFromProgram(prog)
+		eng.RunShot(seed + int64(i))
 		outs[i], err = BlochOf(c, lq, eng)
 		if err != nil {
 			return tomo.Channel{}, fmt.Errorf("%v on %v input: %w", op, p, err)
@@ -248,17 +252,25 @@ func OneTileChannel(dx, dz int, arr core.Arrangement, op OneTileOp, rounds int, 
 // quasi-probability Monte-Carlo sampling (paper Sec 4.1/4.2: verification
 // is statistical because of the single non-Clifford gate). Returns the
 // estimated vector and the per-component standard errors.
+//
+// The injection circuit is compiled once; the three Pauli components are
+// then estimated over the shared program with the parallel batch runner, so
+// the per-shot cost is pure simulation work. Results are deterministic in
+// (dx, dz, shots, seed) regardless of worker count.
 func InjectTBloch(dx, dz int, shots int, seed int64) (mean, stderr tomo.Bloch, err error) {
 	c, lq, err := newPatch(dx, dz, core.Standard)
 	if err != nil {
 		return mean, stderr, err
 	}
 	lq.InjectState(core.InjectT)
-	circ := c.Build()
+	prog, err := orqcs.Compile(c.Build())
+	if err != nil {
+		return mean, stderr, err
+	}
 	for i, k := range []core.LogicalKind{core.LogicalX, core.LogicalY, core.LogicalZ} {
 		rep := lq.GeoRep(k)
 		site, neg := c.SitePauli(rep)
-		m, se, eerr := orqcs.Estimate(circ, site, shots, seed+int64(i)*131)
+		m, se, eerr := orqcs.EstimateBatch(prog, site, shots, seed+int64(i)*131, 0)
 		if eerr != nil {
 			return mean, stderr, eerr
 		}

@@ -111,8 +111,12 @@ type (
 
 // Verification types.
 type (
-	// Engine is one shot of the quasi-Clifford verification simulator.
+	// Engine executes shots of a compiled Program on reusable simulator
+	// state (the quasi-Clifford verification simulator).
 	Engine = orqcs.Engine
+	// Program is the lowered, compile-once form of a circuit: movement and
+	// site bookkeeping resolved to flat qubit-indexed instructions.
+	Program = orqcs.Program
 	// SitePauli is a Pauli operator keyed by trapping-zone site.
 	SitePauli = orqcs.SitePauli
 	// Expr is a measurement-record XOR formula.
@@ -174,7 +178,38 @@ func Merge(a, b *LogicalQubit, rounds int) (*MergeResult, error) { return core.M
 func TileHeight(dz int) int { return instr.TileHeight(dz) }
 func TileWidth(dx int) int  { return instr.TileWidth(dx) }
 
-// RunCircuit executes one simulation shot of a compiled circuit.
+// CompileProgram lowers a circuit into its compile-once simulation form:
+// the movement semantics run exactly once, and the result can be executed
+// any number of times (RunProgram, EstimateBatch, RunShots) by any number
+// of engines concurrently.
+func CompileProgram(c *Circuit) (*Program, error) { return orqcs.Compile(c) }
+
+// RunProgram executes one simulation shot of a compiled program on a fresh
+// reusable engine and returns the engine for inspection. Call RunShot on
+// the returned engine to rerun it with other seeds at zero allocation.
+func RunProgram(p *Program, seed int64) *Engine {
+	e := orqcs.NewFromProgram(p)
+	e.RunShot(seed)
+	return e
+}
+
+// EstimateBatch Monte-Carlo-estimates ⟨op⟩ over a compiled program with a
+// deterministic parallel worker pool: per-shot seeds derive only from the
+// base seed and shot index, so the returned mean and standard error are
+// identical for every worker count (workers ≤ 0 selects GOMAXPROCS).
+func EstimateBatch(p *Program, op SitePauli, shots int, seed int64, workers int) (mean, stderr float64, err error) {
+	return orqcs.EstimateBatch(p, op, shots, seed, workers)
+}
+
+// RunShots executes shots runs of a compiled program across a worker pool,
+// invoking visit after each completed shot; see orqcs.RunShots for the
+// engine-reuse contract.
+func RunShots(p *Program, shots int, seed int64, workers int, visit func(shot int, e *Engine) error) error {
+	return orqcs.RunShots(p, shots, seed, workers, visit)
+}
+
+// RunCircuit executes one simulation shot of a compiled circuit (a thin
+// wrapper over CompileProgram + RunProgram).
 func RunCircuit(c *Circuit, seed int64) (*Engine, error) { return orqcs.RunOnce(c, seed) }
 
 // RunCircuitText parses the textual circuit form and executes one shot (the
@@ -183,7 +218,10 @@ func RunCircuitText(text string, seed int64) (*Engine, error) { return orqcs.Run
 
 // EstimateExpectation Monte-Carlo-estimates a Pauli expectation for
 // circuits containing non-Clifford gates (quasi-probability sampling with
-// negativity γ = √2 per T gate).
+// negativity γ = √2 per T gate). It is a thin wrapper that compiles the
+// circuit and delegates to EstimateBatch with an automatic worker count;
+// estimate several operators over one circuit via CompileProgram +
+// EstimateBatch to pay compilation only once.
 func EstimateExpectation(c *Circuit, op SitePauli, shots int, seed int64) (mean, stderr float64, err error) {
 	return orqcs.Estimate(c, op, shots, seed)
 }
@@ -211,5 +249,7 @@ func VerifyOneTileChannel(dx, dz int, arr Arrangement, op verify.OneTileOp, roun
 }
 
 // Gamma is the quasi-probability negativity of the T-gate channel
-// decomposition used by the simulator (paper Sec 4.1).
-var Gamma = math.Sqrt2
+// decomposition used by the simulator (paper Sec 4.1). It is a property of
+// the decomposition TρT† = ½ρ − (√2−1)/2·ZρZ + (1/√2)·SρS†, so it is a
+// constant: importers cannot (and must not) mutate it.
+const Gamma = math.Sqrt2

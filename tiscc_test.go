@@ -76,6 +76,73 @@ func TestFacadeTileFootprint(t *testing.T) {
 	}
 }
 
+// TestFacadeProgram exercises the compile-once/run-many workflow through
+// the public API: CompileProgram, RunProgram, EstimateBatch, RunShots.
+func TestFacadeProgram(t *testing.T) {
+	layout, err := tiscc.NewLayout(1, 1, 2, 2, 1, tiscc.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile := tiscc.TileCoord{R: 0, C: 0}
+	if _, err := layout.PrepareZ(tile); err != nil {
+		t.Fatal(err)
+	}
+	circ := layout.Circuit()
+	prog, err := tiscc.CompileProgram(circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.NumQubits() == 0 || prog.NumInstrs() == 0 {
+		t.Fatalf("degenerate program: %d qubits, %d instrs", prog.NumQubits(), prog.NumInstrs())
+	}
+	if !prog.Clifford() {
+		t.Fatal("PrepareZ compiled as non-Clifford")
+	}
+	eng := tiscc.RunProgram(prog, 3)
+	ref, err := tiscc.RunCircuit(circ, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, _ := layout.Tile(tile)
+	lv, err := tl.LQ.LogicalValueOf(tiscc.LogicalZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, _ := layout.C.SitePauli(lv.Rep)
+	ve, _ := eng.Expectation(site)
+	vr, _ := ref.Expectation(site)
+	if ve != vr {
+		t.Fatalf("program path %v vs wrapper path %v", ve, vr)
+	}
+	mean1, stderr1, err := tiscc.EstimateBatch(prog, site, 8, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean4, stderr4, err := tiscc.EstimateBatch(prog, site, 8, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean1 != mean4 || stderr1 != stderr4 {
+		t.Fatalf("estimate depends on worker count: %v±%v vs %v±%v", mean1, stderr1, mean4, stderr4)
+	}
+	if mean1 < -1 || mean1 > 1 {
+		t.Fatalf("mean %v outside [-1, 1]", mean1)
+	}
+	shotsSeen := 0
+	if err := tiscc.RunShots(prog, 4, 3, 1, func(shot int, e *tiscc.Engine) error {
+		shotsSeen++
+		if len(e.Records()) == 0 {
+			t.Error("shot produced no records")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if shotsSeen != 4 {
+		t.Fatalf("visited %d shots, want 4", shotsSeen)
+	}
+}
+
 // TestFacadeVerify runs a small verification through the facade.
 func TestFacadeVerify(t *testing.T) {
 	b, err := tiscc.VerifyStatePrep(3, 3, tiscc.Standard, 0 /* PrepZero */, true, 5)
