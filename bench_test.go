@@ -15,6 +15,7 @@ import (
 	"tiscc/internal/core"
 	"tiscc/internal/hardware"
 	"tiscc/internal/instr"
+	"tiscc/internal/noise"
 	"tiscc/internal/orqcs"
 	"tiscc/internal/pauli"
 	"tiscc/internal/resource"
@@ -499,6 +500,99 @@ func BenchmarkCompileProgram(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Noise benchmarks: the fault-injection hot path of the stochastic
+// Pauli noise subsystem against the noiseless per-shot loop.
+
+// BenchmarkNoisyVsNoiselessShot measures the per-shot overhead of fault
+// injection at p = 1e-3 on a d=5 memory experiment. The acceptance target
+// of the noise subsystem is that the noisy loop stays within 2× of the
+// noiseless loop; compare the two sub-benchmarks' ns/op.
+func BenchmarkNoisyVsNoiselessShot(b *testing.B) {
+	mem, err := verify.MemoryExperiment(5, 2, pauli.Z)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("noiseless", func(b *testing.B) {
+		e := orqcs.NewFromProgram(mem.Prog)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.RunShot(orqcs.ShotSeed(1, i))
+		}
+	})
+	b.Run("noisy-p1e-3", func(b *testing.B) {
+		sched := noise.Compile(noise.Depolarizing(1e-3), mem.Prog)
+		e := orqcs.NewFromProgram(mem.Prog)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sched.RunShot(e, orqcs.ShotSeed(1, i))
+		}
+	})
+	b.Run("noisy-table5", func(b *testing.B) {
+		sched := noise.Compile(noise.PaperTable5(hardware.Default()), mem.Prog)
+		e := orqcs.NewFromProgram(mem.Prog)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sched.RunShot(e, orqcs.ShotSeed(1, i))
+		}
+	})
+}
+
+// BenchmarkLogicalErrorRate runs the end-to-end estimator (200 noisy shots
+// of a d=3 memory experiment, outcome decoding included) per iteration.
+func BenchmarkLogicalErrorRate(b *testing.B) {
+	mem, err := verify.MemoryExperiment(3, 3, pauli.Z)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := noise.Compile(noise.Depolarizing(1e-3), mem.Prog)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := noise.EstimateLogicalError(sched, mem.Outcome, mem.Reference,
+			noise.Options{Shots: 200, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rate, "p_L")
+	}
+}
+
+// BenchmarkEstimateManyVsThreePasses measures the multi-operator win: the
+// three Bloch components of a d=3 T-injection evaluated in one pass against
+// three separate EstimateBatch passes over the same program.
+func BenchmarkEstimateManyVsThreePasses(b *testing.B) {
+	const shots = 200
+	c := core.NewCompiler(11, 10, hardware.Default())
+	lq, err := c.NewLogicalQubit(3, 3, core.Cell{R: 1, C: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lq.InjectState(core.InjectT)
+	prog, err := orqcs.Compile(c.Build())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := make([]orqcs.SitePauli, 3)
+	for i, k := range []core.LogicalKind{core.LogicalX, core.LogicalY, core.LogicalZ} {
+		ops[i], _ = c.SitePauli(lq.GeoRep(k))
+	}
+	b.Run("three-estimatebatch-passes", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j, op := range ops {
+				if _, _, err := orqcs.EstimateBatch(prog, op, shots, int64(j)*131+1, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("one-estimatemany-pass", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := orqcs.EstimateMany(prog, ops, shots, 1, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkHadamardRotate compiles the full logical Hadamard with patch

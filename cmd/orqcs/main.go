@@ -7,11 +7,13 @@
 //
 // Usage:
 //
-//	orqcs -circuit file.tiscc [-seed 1] [-shots 1] [-workers 0] [-expect "Z@0.2,X@4.6"]
+//	orqcs -circuit file.tiscc [-seed 1] [-shots 1] [-workers 0] [-expect "Z@0.2,X@4.6"] [-noise p]
 //
 // The circuit is compiled once into a lowered program; multi-shot estimates
 // then run on a deterministic parallel worker pool (results depend only on
-// the seed, never on the worker count).
+// the seed, never on the worker count). With -noise p, shots run under a
+// uniform circuit-level depolarizing model at physical error rate p, with
+// faults injected per instruction from a compiled fault schedule.
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 
 	"tiscc/internal/circuit"
 	"tiscc/internal/grid"
+	"tiscc/internal/noise"
 	"tiscc/internal/orqcs"
 	"tiscc/internal/pauli"
 )
@@ -35,6 +38,7 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel shot workers (0 = GOMAXPROCS)")
 		expect  = flag.String("expect", "", "comma-separated Pauli ops, e.g. Z@0.2,X@4.6")
 		quiet   = flag.Bool("quiet", false, "suppress the record table")
+		noiseP  = flag.Float64("noise", 0, "uniform depolarizing physical error rate (0 = noiseless)")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -58,19 +62,43 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-
-	if *shots > 1 && len(op) > 0 {
-		mean, stderr, err := orqcs.EstimateBatch(prog, op, *shots, *seed, *workers)
-		if err != nil {
+	var sched *noise.Schedule
+	if *noiseP != 0 {
+		m := noise.Depolarizing(*noiseP)
+		if err := m.Validate(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("expectation %s = %.6f ± %.6f (%d shots, %d T gates)\n",
-			*expect, mean, stderr, *shots, prog.NumTGates())
+		sched = noise.Compile(m, prog)
+	}
+
+	if *shots > 1 && len(op) > 0 {
+		var mean, stderr float64
+		if sched != nil {
+			means, stderrs, err := sched.EstimateMany([]orqcs.SitePauli{op}, *shots, *seed, *workers)
+			if err != nil {
+				fatal(err)
+			}
+			mean, stderr = means[0], stderrs[0]
+		} else {
+			if mean, stderr, err = orqcs.EstimateBatch(prog, op, *shots, *seed, *workers); err != nil {
+				fatal(err)
+			}
+		}
+		label := ""
+		if sched != nil {
+			label = fmt.Sprintf(", depolarizing p=%g over %d fault sites", *noiseP, sched.NumFaultSites())
+		}
+		fmt.Printf("expectation %s = %.6f ± %.6f (%d shots, %d T gates%s)\n",
+			*expect, mean, stderr, *shots, prog.NumTGates(), label)
 		return
 	}
 
 	eng := orqcs.NewFromProgram(prog)
-	eng.RunShot(*seed)
+	if sched != nil {
+		sched.RunShot(eng, *seed)
+	} else {
+		eng.RunShot(*seed)
+	}
 	if !*quiet {
 		var ids []int32
 		for id := range eng.Records() {

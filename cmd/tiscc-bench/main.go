@@ -13,6 +13,7 @@
 //	tiscc-bench -resources [-dlist 3,5,7,9,11,13]
 //	tiscc-bench -verify
 //	tiscc-bench -simbench [-d 5] [-shots 200]
+//	tiscc-bench -noise [-dlist 3,5] [-plist 1e-4,...] [-rounds 0] [-shots N] [-model depolarizing|table5] [-seed 1]
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"tiscc/internal/core"
 	"tiscc/internal/hardware"
 	"tiscc/internal/instr"
+	"tiscc/internal/noise"
 	"tiscc/internal/orqcs"
 	"tiscc/internal/pauli"
 	"tiscc/internal/resource"
@@ -42,9 +44,14 @@ func main() {
 		res    = flag.Bool("resources", false, "print per-instruction resource estimates")
 		ver    = flag.Bool("verify", false, "run the verification matrix")
 		sim    = flag.Bool("simbench", false, "benchmark compiled-program vs legacy per-shot simulation")
-		shots  = flag.Int("shots", 200, "Monte-Carlo shots for -simbench")
-		dlist  = flag.String("dlist", "3,5,7,9", "code distances for the resource sweep")
+		noisy  = flag.Bool("noise", false, "sweep physical vs logical error rates over memory experiments")
+		shots  = flag.Int("shots", 200, "Monte-Carlo shots for -simbench (and -noise, where the default is 1000)")
+		dlist  = flag.String("dlist", "3,5,7,9", "code distances for the resource sweep (-noise defaults to 3,5)")
 		d      = flag.Int("d", 3, "code distance for tables/figures")
+		plist  = flag.String("plist", "1e-4,3e-4,1e-3,3e-3,1e-2", "physical error rates for the -noise sweep")
+		rounds = flag.Int("rounds", 0, "error-correction rounds per memory experiment (0 = d)")
+		model  = flag.String("model", "depolarizing", "noise model for the sweep: depolarizing (swept over -plist) or table5")
+		seed   = flag.Int64("seed", 1, "base seed for the -noise sweep (output is deterministic per seed)")
 	)
 	flag.Parse()
 	if *all {
@@ -79,10 +86,100 @@ func main() {
 		runSimBench(*d, *shots)
 		did = true
 	}
+	if *noisy {
+		// -dlist and -shots default differently under -noise; apply the
+		// noise defaults only when the user left them untouched.
+		ds, nshots := []int{3, 5}, 1000
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "dlist":
+				ds = parseInts(*dlist)
+			case "shots":
+				nshots = *shots
+			}
+		})
+		runNoiseSweep(ds, parseFloats(*plist), *rounds, nshots, *seed, *model)
+		did = true
+	}
 	if !did {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runNoiseSweep estimates logical error rates of memory experiments across
+// code distances and physical error rates: |0̄⟩ is prepared transversally,
+// idled for `rounds` cycles of syndrome extraction, transversally measured,
+// and each noisy shot's decoded logical outcome is compared against the
+// noiseless reference. Output is deterministic for a fixed seed, regardless
+// of worker count or machine.
+func runNoiseSweep(ds []int, ps []float64, rounds, shots int, seed int64, model string) {
+	if model != "depolarizing" && model != "table5" {
+		fmt.Fprintf(os.Stderr, "noise sweep: unknown -model %q (want depolarizing or table5)\n", model)
+		os.Exit(2)
+	}
+	if model == "depolarizing" && len(ps) == 0 {
+		fmt.Fprintln(os.Stderr, "noise sweep: -plist parsed to no error rates")
+		os.Exit(2)
+	}
+	fmt.Println("== Logical error rate vs physical error rate (memory experiments) ==")
+	fmt.Printf("model=%s, shots=%d/point, seed=%d (raw transversal readout, no decoder)\n", model, shots, seed)
+	for _, d := range ds {
+		r := rounds
+		if r <= 0 {
+			r = d
+		}
+		mem, err := verify.MemoryExperiment(d, r, pauli.Z)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "noise sweep:", err)
+			return
+		}
+		fmt.Printf("\nd=%d (rounds=%d, %d qubits, %d instructions)\n",
+			d, r, mem.Prog.NumQubits(), mem.Prog.NumInstrs())
+		fmt.Printf("  %-10s %-8s %-8s %-12s %-10s %s\n",
+			"p_phys", "shots", "errors", "p_L", "stderr", "95% Wilson CI")
+		models := make([]noise.Model, 0, len(ps))
+		if model == "table5" {
+			models = append(models, noise.PaperTable5(hardware.Default()))
+		} else {
+			for _, p := range ps {
+				models = append(models, noise.Depolarizing(p))
+			}
+		}
+		for _, m := range models {
+			if err := m.Validate(); err != nil {
+				fmt.Fprintln(os.Stderr, "noise sweep:", err)
+				return
+			}
+			sched := noise.Compile(m, mem.Prog)
+			res, err := noise.EstimateLogicalError(sched, mem.Outcome, mem.Reference,
+				noise.Options{Shots: shots, Seed: seed})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "noise sweep:", err)
+				return
+			}
+			label := m.Name
+			if model != "table5" {
+				label = fmt.Sprintf("%.1e", m.P1)
+			}
+			fmt.Printf("  %-10s %-8d %-8d %-12.4e %-10.1e [%.4e, %.4e]\n",
+				label, res.Shots, res.Errors, res.Rate, res.StdErr, res.WilsonLow, res.WilsonHigh)
+		}
+	}
+	fmt.Println()
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -plist entry %q: %v\n", p, err)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 // runSimBench times the Monte-Carlo verification hot path (a d×d T-state
@@ -139,6 +236,26 @@ func runSimBench(d, shots int) {
 	}
 	fmt.Printf("  one-time Compile: %v, %d instructions, %d qubits, %d T gates\n",
 		compileTime, prog.NumInstrs(), prog.NumQubits(), prog.NumTGates())
+
+	// Fault-injection overhead: the noisy per-shot loop (depolarizing
+	// p=1e-3 schedule interleaved with the instruction stream) against the
+	// noiseless loop on the same engine. The acceptance target is ≤ 2×.
+	eng := orqcs.NewFromProgram(prog)
+	t0 = time.Now()
+	for s := 0; s < shots; s++ {
+		eng.RunShot(orqcs.ShotSeed(1, s))
+	}
+	clean := time.Since(t0)
+	sched := noise.Compile(noise.Depolarizing(1e-3), prog)
+	t0 = time.Now()
+	for s := 0; s < shots; s++ {
+		sched.RunShot(eng, orqcs.ShotSeed(1, s))
+	}
+	noisyEl := time.Since(t0)
+	fmt.Printf("  noiseless RunShot loop         %10v  (%.0f shots/s)\n",
+		clean, float64(shots)/clean.Seconds())
+	fmt.Printf("  noisy RunShot loop (p=1e-3)    %10v  (%.0f shots/s, %.2f× noiseless, %d fault sites)\n",
+		noisyEl, float64(shots)/noisyEl.Seconds(), noisyEl.Seconds()/clean.Seconds(), sched.NumFaultSites())
 	fmt.Println()
 }
 

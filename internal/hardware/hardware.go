@@ -36,6 +36,13 @@ type Params struct {
 	ZoneWidthM   float64 // trapping-zone width in meters
 	TransportMPS float64 // straight transport velocity (m/s)
 	JunctionMPS  float64 // junction traversal velocity (m/s)
+
+	// T2 is the idle dephasing time of a resting ion in nanoseconds. It is
+	// not part of the paper's Table 5 timing model, but the noise subsystem
+	// pairs it with the per-instruction idle windows computed at lowering
+	// time to turn this timing model into idle-dephasing probabilities
+	// (p_Z = (1 − exp(−t_idle/T2))/2). Zero disables idle dephasing.
+	T2 int64
 }
 
 // Default returns the paper's Table 5 parameters: 420 µm zones, 80 m/s
@@ -60,6 +67,9 @@ func Default() Params {
 		ZoneWidthM:   420e-6,
 		TransportMPS: 80,
 		JunctionMPS:  4,
+		// Hyperfine-qubit memory coherence of ~1 s, conservative against the
+		// multi-second T2 reported for ¹⁷¹Yb⁺ clock-state qubits.
+		T2: 1_000_000_000,
 	}
 }
 

@@ -1,0 +1,197 @@
+package noise
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"tiscc/internal/expr"
+	"tiscc/internal/orqcs"
+)
+
+// Options configures a logical-error-rate estimation run.
+type Options struct {
+	// Shots is the maximum number of noisy shots (default 1000).
+	Shots int
+	// Seed is the base seed; shot i runs with orqcs.ShotSeed(Seed, i).
+	Seed int64
+	// Workers sizes the shot pool (≤ 0 selects GOMAXPROCS). Results are
+	// identical for every worker count.
+	Workers int
+	// TargetStdErr, when positive, stops the run early once the estimate's
+	// Wilson-interval standard error (half-width / z) drops to the target.
+	// The decision is taken only at Batch boundaries, so early-stopped runs
+	// are an exact prefix of the full run and stay deterministic.
+	TargetStdErr float64
+	// Batch is the early-stopping check granularity in shots (default 256).
+	Batch int
+}
+
+// Result reports a logical-error-rate estimate.
+type Result struct {
+	Shots  int     // noisy shots executed
+	Errors int     // shots whose decoded logical outcome differed from the reference
+	Rate   float64 // Errors / Shots
+	StdErr float64 // binomial standard error √(p̂(1−p̂)/n)
+	// WilsonLow and WilsonHigh bound the 95% Wilson score interval, which
+	// stays meaningful at zero observed errors.
+	WilsonLow, WilsonHigh float64
+	Reference             bool // the noiseless logical outcome compared against
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("p_L = %.3e ± %.1e (%d/%d shots, 95%% CI [%.3e, %.3e])",
+		r.Rate, r.StdErr, r.Errors, r.Shots, r.WilsonLow, r.WilsonHigh)
+}
+
+// z95 is the 97.5th standard-normal percentile (two-sided 95%).
+const z95 = 1.959963984540054
+
+// Wilson returns the 95% Wilson score interval for errors successes in
+// shots trials.
+func Wilson(errors, shots int) (lo, hi float64) {
+	if shots == 0 {
+		return 0, 1
+	}
+	n := float64(shots)
+	ph := float64(errors) / n
+	denom := 1 + z95*z95/n
+	center := (ph + z95*z95/(2*n)) / denom
+	half := z95 * math.Sqrt(ph*(1-ph)/n+z95*z95/(4*n*n)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// result assembles a Result from raw counts.
+func result(errors, shots int, reference bool) Result {
+	r := Result{Shots: shots, Errors: errors, Reference: reference}
+	if shots > 0 {
+		r.Rate = float64(errors) / float64(shots)
+		r.StdErr = math.Sqrt(r.Rate * (1 - r.Rate) / float64(shots))
+	}
+	r.WilsonLow, r.WilsonHigh = Wilson(errors, shots)
+	return r
+}
+
+// wilsonStdErr is the Wilson half-width divided by z: a standard-error
+// analogue that stays positive (and shrinking) at zero observed errors,
+// which makes it a safe early-stopping criterion.
+func wilsonStdErr(errors, shots int) float64 {
+	lo, hi := Wilson(errors, shots)
+	return (hi - lo) / (2 * z95)
+}
+
+// EstimateLogicalError runs noisy shots of the schedule's program, decodes
+// each shot's logical outcome by evaluating the outcome formula against the
+// shot's measurement records (the paper's Sec 4.5 post-processing), and
+// reports the rate at which it disagrees with the noiseless reference,
+// with a 95% Wilson confidence interval.
+//
+// The run is deterministic in (schedule, outcome, Options): error bits are
+// folded in strict shot order and early stopping truncates the fixed shot
+// sequence only at batch boundaries, so neither the worker count nor
+// scheduling can change the result. The whole run — early stopping
+// included — uses one worker pool, so engines are allocated once.
+func EstimateLogicalError(s *Schedule, outcome expr.Expr, reference bool, opt Options) (Result, error) {
+	if outcome.HasVirtual() {
+		return Result{}, fmt.Errorf("noise: outcome formula references virtual records: %v", outcome)
+	}
+	shots := opt.Shots
+	if shots <= 0 {
+		shots = 1000
+	}
+	if opt.TargetStdErr <= 0 {
+		// No stopping checks: a plain order-independent count suffices.
+		var errCount atomic.Int64
+		err := orqcs.RunShotsRange(s.prog, 0, shots, opt.Seed, opt.Workers, s.RunShot,
+			func(i int, e *orqcs.Engine) error {
+				if outcome.Eval(e.Records()) != reference {
+					errCount.Add(1)
+				}
+				return nil
+			})
+		if err != nil {
+			return Result{}, err
+		}
+		return result(int(errCount.Load()), shots, reference), nil
+	}
+	batch := opt.Batch
+	if batch <= 0 {
+		batch = 256
+	}
+	st := &stopFold{batch: batch, target: opt.TargetStdErr, pending: map[int]bool{}}
+	err := orqcs.RunShotsRange(s.prog, 0, shots, opt.Seed, opt.Workers, s.RunShot,
+		func(i int, e *orqcs.Engine) error {
+			return st.add(i, outcome.Eval(e.Records()) != reference)
+		})
+	if err != nil && err != errStop {
+		return Result{}, err
+	}
+	return result(st.errs, st.done, reference), nil
+}
+
+// errStop signals the worker pool that the target precision is reached.
+var errStop = fmt.Errorf("noise: target standard error reached")
+
+// stopFold folds per-shot error bits in strict shot order (buffering the
+// ≤ workers out-of-order arrivals — the same mutex/next/pending mechanism
+// as orqcs.streamStats, which cannot be shared directly because its payload
+// buffering recycles float slices while this fold carries a bit and a stop
+// decision; a change to either ordering invariant must be mirrored in the
+// other) and takes the early-stopping decision at every batch boundary of
+// the fold.
+// The counted prefix therefore depends only on the shot sequence, never on
+// worker scheduling: an early-stopped run is an exact prefix of the full
+// run. Shots completed beyond the cutoff before the pool drains are
+// discarded uncounted.
+type stopFold struct {
+	mu               sync.Mutex
+	next, errs, done int
+	batch            int
+	target           float64
+	stopped          bool
+	pending          map[int]bool
+}
+
+func (st *stopFold) add(shot int, bad bool) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.stopped {
+		return errStop
+	}
+	if shot != st.next {
+		st.pending[shot] = bad
+		return nil
+	}
+	st.fold(bad)
+	for !st.stopped {
+		b, ok := st.pending[st.next]
+		if !ok {
+			break
+		}
+		delete(st.pending, st.next)
+		st.fold(b)
+	}
+	if st.stopped {
+		return errStop
+	}
+	return nil
+}
+
+func (st *stopFold) fold(bad bool) {
+	if bad {
+		st.errs++
+	}
+	st.next++
+	st.done++
+	if st.done%st.batch == 0 && wilsonStdErr(st.errs, st.done) <= st.target {
+		st.stopped = true
+	}
+}

@@ -1,0 +1,260 @@
+package noise
+
+import (
+	"math"
+
+	"tiscc/internal/orqcs"
+	"tiscc/internal/tableau"
+)
+
+// FaultKind names the sampling rule of one fault location.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	// FaultDepol1 applies X, Y or Z on Q1 with probability P/3 each.
+	FaultDepol1 FaultKind = iota
+	// FaultDepol2 applies one of the 15 non-identity two-qubit Paulis on
+	// (Q1, Q2) with probability P/15 each.
+	FaultDepol2
+	// FaultFlipX applies X on Q1 with probability P (preparation and
+	// measurement flips).
+	FaultFlipX
+	// FaultDephase applies Z on Q1 with probability P (idle dephasing).
+	FaultDephase
+)
+
+func (k FaultKind) String() string {
+	return [...]string{"depol1", "depol2", "flipX", "dephase"}[k]
+}
+
+// Fault is one potential stochastic error location in a compiled schedule.
+type Fault struct {
+	P      float64 // total firing probability
+	Q1, Q2 int32   // tableau qubit operands (Q2 used by FaultDepol2 only)
+	Kind   FaultKind
+}
+
+// Schedule is a noise model compiled against one lowered program: a flat,
+// immutable per-instruction fault table. Slot i holds the faults applied
+// immediately before instruction i (idle dephasing, transport depolarizing,
+// measurement flips, and the gate errors of instruction i−1); slot
+// NumInstrs holds trailing faults. One Schedule may be shared by any number
+// of concurrent shot workers.
+type Schedule struct {
+	prog   *orqcs.Program
+	model  Model
+	faults []Fault
+	start  []int32 // CSR offsets: slot i is faults[start[i]:start[i+1]]
+}
+
+// Program returns the program the schedule was compiled against.
+func (s *Schedule) Program() *orqcs.Program { return s.prog }
+
+// Model returns the noise model the schedule was compiled from.
+func (s *Schedule) Model() Model { return s.model }
+
+// NumFaultSites returns the number of potential error locations per shot.
+func (s *Schedule) NumFaultSites() int { return len(s.faults) }
+
+// Compile flattens a noise model against a lowered program. Idle-dephasing
+// probabilities are evaluated here, once, from the per-instruction schedule
+// gaps the lowering pass recorded, so the per-shot loop never touches the
+// timing model.
+func Compile(m Model, p *orqcs.Program) *Schedule {
+	s := &Schedule{prog: p, model: m}
+	instrs := p.Instructions()
+	slots := make([][]Fault, len(instrs)+1)
+	add := func(slot int, f Fault) {
+		if f.P > 1 {
+			f.P = 1 // defense against out-of-range models; see Model.Validate
+		}
+		if f.P > 0 {
+			slots[slot] = append(slots[slot], f)
+		}
+	}
+	// pre emits the gap-derived channels of one operand before slot i.
+	pre := func(slot int, q int32, idleNs int64, moves int32) {
+		if m.T2 > 0 && idleNs > 0 {
+			pz := (1 - math.Exp(-float64(idleNs)/m.T2)) / 2
+			add(slot, Fault{P: pz, Q1: q, Kind: FaultDephase})
+		}
+		if m.PMove > 0 && moves > 0 {
+			// k per-step depolarizings compose to one: each step shrinks the
+			// Bloch vector by (1 − 4p/3), so the net channel is depolarizing
+			// with probability (3/4)(1 − (1 − 4p/3)^k).
+			pk := 0.75 * (1 - math.Pow(1-4*m.PMove/3, float64(moves)))
+			add(slot, Fault{P: pk, Q1: q, Kind: FaultDepol1})
+		}
+	}
+	// Constant-folded first-touch preparations still suffer SPAM errors:
+	// charge PPrep at the stream position each folded prep precedes.
+	for _, f := range p.FoldedPreps() {
+		add(int(f.Slot), Fault{P: m.PPrep, Q1: f.Q, Kind: FaultFlipX})
+	}
+	for i := range instrs {
+		in := &instrs[i]
+		g := p.Gap(i)
+		pre(i, in.Q1, g.Idle1, g.Moves1)
+		if in.Op == orqcs.OpZZ {
+			pre(i, in.Q2, g.Idle2, g.Moves2)
+		}
+		switch in.Op {
+		case orqcs.OpPrepareZ:
+			add(i+1, Fault{P: m.PPrep, Q1: in.Q1, Kind: FaultFlipX})
+		case orqcs.OpMeasureZ:
+			add(i, Fault{P: m.PMeas, Q1: in.Q1, Kind: FaultFlipX})
+		case orqcs.OpZZ:
+			add(i+1, Fault{P: m.P2, Q1: in.Q1, Q2: in.Q2, Kind: FaultDepol2})
+		case orqcs.OpZ, orqcs.OpS, orqcs.OpSdg, orqcs.OpT, orqcs.OpTdg:
+			add(i+1, Fault{P: m.P1Z, Q1: in.Q1, Kind: FaultDepol1})
+		default: // X/Y-bus one-qubit rotations
+			add(i+1, Fault{P: m.P1, Q1: in.Q1, Kind: FaultDepol1})
+		}
+	}
+	s.start = make([]int32, len(slots)+1)
+	total := 0
+	for i, sl := range slots {
+		s.start[i] = int32(total)
+		total += len(sl)
+	}
+	s.start[len(slots)] = int32(total)
+	s.faults = make([]Fault, 0, total)
+	for _, sl := range slots {
+		s.faults = append(s.faults, sl...)
+	}
+	return s
+}
+
+// --- Fault sampling ----------------------------------------------------------
+
+// noiseSalt separates the fault-sampling stream from the measurement-outcome
+// stream derived from the same shot seed.
+const noiseSalt = 0xD1B54A32D192ED03
+
+// nrng is the schedule's dedicated SplitMix64 fault stream (the same O(1)
+// reseed generator the engine uses for measurement outcomes, on a decorrelated
+// seed). Keeping the streams separate makes the fault schedule of a shot a
+// pure function of the shot seed, independent of measurement randomness.
+type nrng struct{ state uint64 }
+
+func (r *nrng) next() float64 {
+	r.state += 0x9E3779B97F4A7C15
+	x := r.state
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// depol2Pauli holds the X/Z bits of one two-qubit Pauli branch.
+type depol2Pauli struct{ x1, z1, x2, z2 bool }
+
+// depol2Table enumerates the 15 non-identity two-qubit Paulis.
+var depol2Table = func() [15]depol2Pauli {
+	bits := [4][2]bool{{false, false}, {true, false}, {true, true}, {false, true}} // I X Y Z
+	var t [15]depol2Pauli
+	k := 0
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			if a == 0 && b == 0 {
+				continue
+			}
+			t[k] = depol2Pauli{bits[a][0], bits[a][1], bits[b][0], bits[b][1]}
+			k++
+		}
+	}
+	return t
+}()
+
+// applySlot samples every fault of one slot, applying fired ones to the
+// tableau as Pauli frame updates. Exactly one uniform draw per fault
+// location, fired or not, so the draw sequence is schedule-shaped and a shot
+// can be replayed (FiredFaults) without simulating.
+func (s *Schedule) applySlot(slot int, tb *tableau.T, r *nrng) {
+	for k := s.start[slot]; k < s.start[slot+1]; k++ {
+		f := &s.faults[k]
+		u := r.next()
+		if u >= f.P {
+			continue
+		}
+		switch f.Kind {
+		case FaultFlipX:
+			tb.ApplyPauliError(int(f.Q1), true, false)
+		case FaultDephase:
+			tb.ApplyPauliError(int(f.Q1), false, true)
+		case FaultDepol1:
+			// Reuse u: u/P is uniform in [0, 1) given the fault fired.
+			switch branch(u, f.P, 3) {
+			case 0:
+				tb.ApplyPauliError(int(f.Q1), true, false) // X
+			case 1:
+				tb.ApplyPauliError(int(f.Q1), true, true) // Y
+			default:
+				tb.ApplyPauliError(int(f.Q1), false, true) // Z
+			}
+		case FaultDepol2:
+			pp := &depol2Table[branch(u, f.P, 15)]
+			tb.ApplyPauliError(int(f.Q1), pp.x1, pp.z1)
+			tb.ApplyPauliError(int(f.Q2), pp.x2, pp.z2)
+		}
+	}
+}
+
+// branch maps a fired draw u < p to one of n equiprobable branches.
+func branch(u, p float64, n int) int {
+	b := int(u * float64(n) / p)
+	if b >= n { // guard the floating-point boundary
+		b = n - 1
+	}
+	return b
+}
+
+// RunShot executes one noisy shot of the schedule's program on the engine:
+// the compiled fault schedule is interleaved with the lowered instruction
+// stream, fired faults update the tableau's Pauli frame in place, and no
+// allocation happens per shot. The engine must have been built from the same
+// program. For a fixed schedule the shot outcome depends only on the seed.
+// RunShot is an orqcs.ShotFunc, so it plugs directly into RunShotsRange and
+// EstimateManyFunc.
+func (s *Schedule) RunShot(e *orqcs.Engine, seed int64) {
+	e.BeginShot(seed)
+	tb := e.Tableau()
+	r := nrng{state: uint64(seed) ^ noiseSalt}
+	instrs := s.prog.Instructions()
+	for i := range instrs {
+		s.applySlot(i, tb, &r)
+		e.Exec(&instrs[i])
+	}
+	s.applySlot(len(instrs), tb, &r)
+}
+
+// FiredFaults replays the fault sampling of one shot without simulating,
+// appending the indices (into the schedule's fault table) of the locations
+// that fire to buf. It draws the exact sequence RunShot draws, so the result
+// is the fault schedule that shot experiences — used by determinism tests
+// and fault-trace debugging.
+func (s *Schedule) FiredFaults(seed int64, buf []int32) []int32 {
+	r := nrng{state: uint64(seed) ^ noiseSalt}
+	for k := range s.faults {
+		if r.next() < s.faults[k].P {
+			buf = append(buf, int32(k))
+		}
+	}
+	return buf
+}
+
+// RunShots executes noisy shots across the deterministic worker pool:
+// the noisy counterpart of orqcs.RunShots, with the same visit contract and
+// worker-count-independent per-shot seeding.
+func (s *Schedule) RunShots(shots int, seed int64, workers int, visit func(shot int, e *orqcs.Engine) error) error {
+	return orqcs.RunShotsRange(s.prog, 0, shots, seed, workers, s.RunShot, visit)
+}
+
+// EstimateMany Monte-Carlo-estimates several Pauli operators over the
+// schedule's program under its noise model, evaluating all operators against
+// each noisy shot in a single pass (see orqcs.EstimateMany for the
+// determinism and memory contract).
+func (s *Schedule) EstimateMany(ops []orqcs.SitePauli, shots int, seed int64, workers int) (means, stderrs []float64, err error) {
+	return orqcs.EstimateManyFunc(s.prog, s.RunShot, ops, shots, seed, workers)
+}

@@ -39,6 +39,7 @@ type Engine struct {
 	rng    *rand.Rand
 	weight float64
 	ran    bool
+	vals   []float64 // reusable multi-operator evaluation buffer
 }
 
 // walkPositions drives the movement semantics shared by the counting pass
@@ -155,44 +156,66 @@ func (e *Engine) Program() *Program { return e.prog }
 // all reused state first. For a fixed program, the shot outcome depends only
 // on the seed.
 func (e *Engine) RunShot(seed int64) {
+	e.BeginShot(seed)
+	for i := range e.prog.instrs {
+		e.Exec(&e.prog.instrs[i])
+	}
+}
+
+// BeginShot resets all reused engine state (tableau, records, weight) in
+// place and reseeds the RNG: the first half of RunShot, exposed so external
+// executors — the noise subsystem's fault-injecting loop — can step the
+// program themselves via Exec.
+func (e *Engine) BeginShot(seed int64) {
 	if e.ran {
 		e.tb.ResetAll()
 	}
 	e.ran = true
 	e.weight = 1
 	e.src.Seed(seed)
-	for i := range e.prog.instrs {
-		in := &e.prog.instrs[i]
-		q := int(in.Q1)
-		switch in.Op {
-		case OpPrepareZ:
-			e.tb.Reset(q)
-		case OpMeasureZ:
-			e.tb.MeasureZ(q, in.Rec)
-		case OpX:
-			e.tb.X(q)
-		case OpSqrtX:
-			e.tb.SqrtX(q)
-		case OpSqrtXDg:
-			e.tb.SqrtXDg(q)
-		case OpY:
-			e.tb.Y(q)
-		case OpSqrtY:
-			e.tb.SqrtY(q)
-		case OpSqrtYDg:
-			e.tb.SqrtYDg(q)
-		case OpZ:
-			e.tb.Z(q)
-		case OpS:
-			e.tb.S(q)
-		case OpSdg:
-			e.tb.Sdg(q)
-		case OpT, OpTdg:
-			e.sampleT(q, in.Op == OpT)
-		case OpZZ:
-			e.tb.ZZ(q, int(in.Q2))
-		}
+}
+
+// Exec executes a single lowered instruction on the engine's state. The
+// instruction must come from the engine's own program (Program.Instructions).
+func (e *Engine) Exec(in *Instr) {
+	q := int(in.Q1)
+	switch in.Op {
+	case OpPrepareZ:
+		e.tb.Reset(q)
+	case OpMeasureZ:
+		e.tb.MeasureZ(q, in.Rec)
+	case OpX:
+		e.tb.X(q)
+	case OpSqrtX:
+		e.tb.SqrtX(q)
+	case OpSqrtXDg:
+		e.tb.SqrtXDg(q)
+	case OpY:
+		e.tb.Y(q)
+	case OpSqrtY:
+		e.tb.SqrtY(q)
+	case OpSqrtYDg:
+		e.tb.SqrtYDg(q)
+	case OpZ:
+		e.tb.Z(q)
+	case OpS:
+		e.tb.S(q)
+	case OpSdg:
+		e.tb.Sdg(q)
+	case OpT, OpTdg:
+		e.sampleT(q, in.Op == OpT)
+	case OpZZ:
+		e.tb.ZZ(q, int(in.Q2))
 	}
+}
+
+// scratch returns a reusable length-n float64 buffer attached to the engine
+// (per-worker storage for multi-operator evaluation; no per-shot allocation).
+func (e *Engine) scratch(n int) []float64 {
+	if cap(e.vals) < n {
+		e.vals = make([]float64, n)
+	}
+	return e.vals[:n]
 }
 
 // sampleT applies one quasi-probability branch of the T (or T†) channel.

@@ -256,3 +256,244 @@ func TestShotSeedStable(t *testing.T) {
 		t.Fatalf("ShotSeed not pure: %d", got)
 	}
 }
+
+// TestEstimateManyMatchesEstimateBatch pins the multi-operator pass to the
+// single-operator path: with one operator they must agree bit for bit (same
+// shot seeds, same fold order).
+func TestEstimateManyMatchesEstimateBatch(t *testing.T) {
+	c, s := buildTPlus(t)
+	p, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := SitePauli{s: pauli.X}
+	const shots, seed = 300, 19
+	m1, e1, err := EstimateBatch(p, op, shots, seed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, es, err := EstimateMany(p, []SitePauli{op}, shots, seed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms[0] != m1 || es[0] != e1 {
+		t.Fatalf("EstimateMany %v±%v vs EstimateBatch %v±%v", ms[0], es[0], m1, e1)
+	}
+}
+
+// TestEstimateManyDeterministicAcrossWorkers checks the streaming reduction:
+// three operators over one shot stream, identical floats for every worker
+// count and rerun.
+func TestEstimateManyDeterministicAcrossWorkers(t *testing.T) {
+	c, s := buildTPlus(t)
+	p, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []SitePauli{{s: pauli.X}, {s: pauli.Y}, {s: pauli.Z}}
+	refM, refE, err := EstimateMany(p, ops, 250, 23, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		for rerun := 0; rerun < 2; rerun++ {
+			ms, es, err := EstimateMany(p, ops, 250, 23, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range ops {
+				if ms[j] != refM[j] || es[j] != refE[j] {
+					t.Fatalf("workers=%d op %d: %v±%v, want %v±%v", workers, j, ms[j], es[j], refM[j], refE[j])
+				}
+			}
+		}
+	}
+}
+
+// TestEstimateManyConverges checks the one-pass estimates against the known
+// T|+⟩ Bloch vector: ⟨X⟩ = ⟨Y⟩ = 1/√2, ⟨Z⟩ = 0.
+func TestEstimateManyConverges(t *testing.T) {
+	c, s := buildTPlus(t)
+	p, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []SitePauli{{s: pauli.X}, {s: pauli.Y}, {s: pauli.Z}}
+	ms, es, err := EstimateMany(p, ops, 40000, 29, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, want := range []float64{1 / math.Sqrt2, 1 / math.Sqrt2, 0} {
+		if math.Abs(ms[j]-want) > 5*es[j]+0.01 {
+			t.Fatalf("op %d: %.4f ± %.4f, want %.4f", j, ms[j], es[j], want)
+		}
+	}
+}
+
+func TestEstimateManyErrors(t *testing.T) {
+	c, _ := buildTPlus(t)
+	p, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := EstimateMany(p, nil, 10, 1, 1); err == nil {
+		t.Fatal("expected error for empty operator list")
+	}
+	if _, _, err := EstimateMany(p, []SitePauli{{{R: 9, C: 9}: pauli.X}}, 10, 1, 1); err == nil {
+		t.Fatal("expected error for operator on empty site")
+	}
+}
+
+// buildDeadCode returns a circuit with a live ion (H|0⟩, queried in X) and a
+// dead ion carrying gates — including a T gate — that can affect nothing.
+func buildDeadCode(t testing.TB) (*circuit.Circuit, grid.Site) {
+	t.Helper()
+	g := grid.New(1, 2)
+	b := hardware.NewBuilder(g, hardware.Default())
+	live := grid.Site{R: 0, C: 2}
+	dead := grid.Site{R: 0, C: 6}
+	li := b.MustAddIon(live)
+	di := b.MustAddIon(dead)
+	b.Prepare(li)
+	b.Hadamard(li)
+	b.Prepare(di)
+	b.Hadamard(di)
+	b.Gate1(circuit.ZPi8, di) // dead T gate: pure sampling overhead
+	b.Gate1(circuit.XPi4, di)
+	return b.Build(), live
+}
+
+// TestEliminateDropsDeadGates checks the dead-code-elimination peephole:
+// gates on qubits that are never measured and appear in no requested
+// operator are dropped (dead T gates included, removing their γ² overhead),
+// while estimates over the requested operator are unchanged.
+func TestEliminateDropsDeadGates(t *testing.T) {
+	c, live := buildDeadCode(t)
+	p, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := SitePauli{live: pauli.X}
+	slim, err := p.Eliminate(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slim.NumInstrs() >= p.NumInstrs() {
+		t.Fatalf("no reduction: %d vs %d instrs", slim.NumInstrs(), p.NumInstrs())
+	}
+	if p.NumTGates() != 1 || slim.NumTGates() != 0 {
+		t.Fatalf("dead T gate not eliminated: %d -> %d", p.NumTGates(), slim.NumTGates())
+	}
+	if slim.NumQubits() != p.NumQubits() {
+		t.Fatal("elimination must not renumber qubits")
+	}
+	// ⟨X⟩ on H|0⟩ is 1. The full program still carries the dead T gate, so
+	// its estimate is statistical (per-shot weights ±γ); the eliminated
+	// program is Clifford and must be exact with zero variance.
+	m, se, err := EstimateBatch(p, op, 400, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-1) > 5*se+0.01 {
+		t.Fatalf("full program ⟨X⟩ = %v ± %v, want ≈ 1", m, se)
+	}
+	m, se, err = EstimateBatch(slim, op, 50, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 1 || se != 0 {
+		t.Fatalf("eliminated program ⟨X⟩ = %v ± %v, want exactly 1 ± 0", m, se)
+	}
+	// The dead qubit's site is still addressable (qubit map shared).
+	if _, ok := slim.QubitAt(grid.Site{R: 0, C: 6}); !ok {
+		t.Fatal("final site map lost by elimination")
+	}
+	if _, err := p.Eliminate(SitePauli{{R: 9, C: 9}: pauli.X}); err == nil {
+		t.Fatal("expected error for operator on empty site")
+	}
+}
+
+// TestEliminateKeepsMeasurements checks that measurements are roots: every
+// record of the original program survives elimination even with no
+// requested operators, and a Prepare_Z kills liveness above it.
+func TestEliminateKeepsMeasurements(t *testing.T) {
+	g := grid.New(1, 1)
+	b := hardware.NewBuilder(g, hardware.Default())
+	ion := b.MustAddIon(grid.Site{R: 0, C: 2})
+	b.Prepare(ion)
+	b.Hadamard(ion) // dead: overwritten by the re-preparation below
+	b.Prepare(ion)  // kills liveness above
+	b.Gate1(circuit.XPi2, ion)
+	rec := b.Measure(ion)
+	p, err := Compile(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slim, err := p.Eliminate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slim.NumInstrs() >= p.NumInstrs() {
+		t.Fatalf("pre-preparation gates not eliminated: %d vs %d", slim.NumInstrs(), p.NumInstrs())
+	}
+	e := NewFromProgram(slim)
+	e.RunShot(1)
+	if v, ok := e.Records()[rec]; !ok || !v {
+		t.Fatalf("record %d lost or wrong after elimination (got %v, ok=%v)", rec, v, ok)
+	}
+}
+
+// TestCompileRecordsGaps checks the lowering-time idle-window bookkeeping
+// that the noise model's dephasing probabilities are derived from.
+func TestCompileRecordsGaps(t *testing.T) {
+	g := grid.New(1, 1)
+	b := hardware.NewBuilder(g, hardware.Default())
+	ion := b.MustAddIon(grid.Site{R: 0, C: 2})
+	b.Prepare(ion)
+	const wait = 5_000_000 // 5 ms rest between preparation and gate
+	b.WaitUntil(ion, b.Avail(ion)+wait)
+	b.Gate1(circuit.XPi2, ion)
+	b.Gate1(circuit.XPi2, ion) // back-to-back: no idle
+	b.Measure(ion)
+	p, err := Compile(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumInstrs() != 3 { // prep folded: 2 gates + measure
+		t.Fatalf("instrs = %d, want 3", p.NumInstrs())
+	}
+	if got := p.Gap(0).Idle1; got != wait {
+		t.Fatalf("gap before first gate = %d ns, want %d", got, wait)
+	}
+	if got := p.Gap(1).Idle1; got != 0 {
+		t.Fatalf("gap between back-to-back gates = %d ns, want 0", got)
+	}
+}
+
+// TestCompileCountsMoves checks that transport steps accumulate into the
+// next instruction's gap (the transport-heating channel's input).
+func TestCompileCountsMoves(t *testing.T) {
+	g := grid.New(1, 2)
+	b := hardware.NewBuilder(g, hardware.Default())
+	start := grid.Site{R: 0, C: 2}
+	ion := b.MustAddIon(start)
+	b.Prepare(ion)
+	path, err := g.Path(start, grid.Site{R: 0, C: 6}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.MoveAlong(ion, path); err != nil {
+		t.Fatal(err)
+	}
+	b.Measure(ion)
+	p, err := Compile(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumInstrs() != 1 { // prep folded, moves lowered away: just the measure
+		t.Fatalf("instrs = %d, want 1", p.NumInstrs())
+	}
+	if mv := p.Gap(0).Moves1; mv < 1 {
+		t.Fatalf("measure gap records %d transport steps, want ≥ 1", mv)
+	}
+}

@@ -558,6 +558,25 @@ func (t *T) ConditionalPauli(p *pauli.String, e expr.Expr) {
 // Swap exchanges the states of qubits a and b (three CNOTs).
 func (t *T) Swap(a, b int) { t.CX(a, b); t.CX(b, a); t.CX(a, b) }
 
+// ApplyPauliError applies the Pauli X^x Z^z on qubit q as a stochastic fault
+// (Pauli frame update): every row anticommuting with the error picks up a −1
+// phase. One row pass regardless of which of X, Y or Z fired, so the noise
+// subsystem's fault-injection hot loop costs the same as a native Pauli gate.
+// A (false, false) error is the identity and returns immediately.
+func (t *T) ApplyPauliError(q int, x, z bool) {
+	if !x && !z {
+		return
+	}
+	for _, rows := range t.groups() {
+		for i := range rows {
+			r := &rows[i]
+			if (x && r.Z.Get(q)) != (z && r.X.Get(q)) {
+				r.K = (r.K + 2) % 4
+			}
+		}
+	}
+}
+
 // --- Observables ------------------------------------------------------------
 
 // AddObservable registers a Pauli to be tracked through subsequent gates and

@@ -10,8 +10,10 @@ import (
 	"fmt"
 
 	"tiscc/internal/core"
+	"tiscc/internal/expr"
 	"tiscc/internal/hardware"
 	"tiscc/internal/orqcs"
+	"tiscc/internal/pauli"
 	"tiscc/internal/tomo"
 )
 
@@ -253,10 +255,11 @@ func OneTileChannel(dx, dz int, arr core.Arrangement, op OneTileOp, rounds int, 
 // is statistical because of the single non-Clifford gate). Returns the
 // estimated vector and the per-component standard errors.
 //
-// The injection circuit is compiled once; the three Pauli components are
-// then estimated over the shared program with the parallel batch runner, so
-// the per-shot cost is pure simulation work. Results are deterministic in
-// (dx, dz, shots, seed) regardless of worker count.
+// The injection circuit is compiled once and dead-code-eliminated against
+// the three logical representatives; all three Pauli components are then
+// evaluated against every shot of a single multi-shot pass, so the per-shot
+// simulation cost is paid once rather than once per component. Results are
+// deterministic in (dx, dz, shots, seed) regardless of worker count.
 func InjectTBloch(dx, dz int, shots int, seed int64) (mean, stderr tomo.Bloch, err error) {
 	c, lq, err := newPatch(dx, dz, core.Standard)
 	if err != nil {
@@ -267,19 +270,119 @@ func InjectTBloch(dx, dz int, shots int, seed int64) (mean, stderr tomo.Bloch, e
 	if err != nil {
 		return mean, stderr, err
 	}
+	ops := make([]orqcs.SitePauli, 3)
+	negs := make([]bool, 3)
 	for i, k := range []core.LogicalKind{core.LogicalX, core.LogicalY, core.LogicalZ} {
-		rep := lq.GeoRep(k)
-		site, neg := c.SitePauli(rep)
-		m, se, eerr := orqcs.EstimateBatch(prog, site, shots, seed+int64(i)*131, 0)
-		if eerr != nil {
-			return mean, stderr, eerr
+		ops[i], negs[i] = c.SitePauli(lq.GeoRep(k))
+	}
+	if prog, err = prog.Eliminate(ops...); err != nil {
+		return mean, stderr, err
+	}
+	means, stderrs, err := orqcs.EstimateMany(prog, ops, shots, seed, 0)
+	if err != nil {
+		return mean, stderr, err
+	}
+	for i := range ops {
+		mean[i], stderr[i] = means[i], stderrs[i]
+		if negs[i] {
+			mean[i] = -mean[i]
 		}
-		if neg {
-			m = -m
-		}
-		mean[i], stderr[i] = m, se
 	}
 	return mean, stderr, nil
+}
+
+// Memory is a compiled logical-memory experiment: a patch prepared in a
+// logical eigenstate, idled for a number of error-correction rounds, and
+// transversally measured, together with the Sec 4.5 record formula that
+// decodes the logical outcome from the measurement records and the
+// outcome's noiseless reference value. It is the standard workload of
+// logical-error-rate estimation: run Prog under a noise schedule, evaluate
+// Outcome against each shot's records, and count disagreements with
+// Reference.
+type Memory struct {
+	Prog      *orqcs.Program
+	Outcome   expr.Expr // logical outcome as an XOR of measurement records
+	Reference bool      // the outcome's value on a noiseless run
+	Distance  int
+	Rounds    int
+	Basis     pauli.Kind
+}
+
+// MemoryExperiment compiles a distance-d memory experiment: |0̄⟩ prepared
+// transversally (basis Z; basis X prepares |+̄⟩), rounds cycles of syndrome
+// extraction, then a transversal measurement of every data qubit in the
+// same basis. The logical outcome formula folds the patch's accumulated
+// frame corrections into the parity of the measured representative, so
+// evaluating it against any (noisy or noiseless) shot's record table yields
+// that shot's decoded logical outcome.
+func MemoryExperiment(d, rounds int, basis pauli.Kind) (*Memory, error) {
+	if basis != pauli.Z && basis != pauli.X {
+		return nil, fmt.Errorf("verify: memory basis must be X or Z")
+	}
+	c := core.NewCompiler(d+2, d+3, hardware.Default())
+	lq, err := c.NewLogicalQubit(d, d, core.Cell{R: 1, C: 1})
+	if err != nil {
+		return nil, err
+	}
+	kind := core.LogicalZ
+	if basis == pauli.X {
+		kind = core.LogicalX
+		lq.TransversalPrepareX()
+	} else {
+		lq.TransversalPrepareZ()
+	}
+	if rounds > 0 {
+		if _, err := lq.Idle(rounds); err != nil {
+			return nil, err
+		}
+	}
+	lv, err := lq.LogicalValueOf(kind)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := lq.TransversalMeasure(basis)
+	if err != nil {
+		return nil, err
+	}
+	// The raw readout recipe of the logical operator (paper Sec 4.5): XOR
+	// the transversal records on the representative's support, fold in the
+	// accumulated frame correction and the representative's sign. The
+	// symbolic tracker's own value formula is deliberately NOT used here —
+	// it simplifies against its knowledge of the ideal state (the noiseless
+	// logical value is a constant), which would erase exactly the record
+	// dependence a noisy shot must be judged by.
+	outcome := lv.Sign
+	if lv.Rep.Sign() < 0 {
+		outcome = outcome.XorConst(true)
+	}
+	covered := 0
+	for cell, rec := range recs {
+		if lv.Rep.Kind(c.Qubit(cell)) != pauli.I {
+			outcome = outcome.Xor(expr.FromID(rec))
+			covered++
+		}
+	}
+	if covered != lv.Rep.Weight() {
+		return nil, fmt.Errorf("verify: logical %v support not fully measured (%d of %d sites)",
+			kind, covered, lv.Rep.Weight())
+	}
+	if outcome.HasVirtual() {
+		return nil, fmt.Errorf("verify: outcome formula references virtual records: %v", outcome)
+	}
+	prog, err := orqcs.Compile(c.Build())
+	if err != nil {
+		return nil, err
+	}
+	eng := orqcs.NewFromProgram(prog)
+	eng.RunShot(1)
+	return &Memory{
+		Prog:      prog,
+		Outcome:   outcome,
+		Reference: outcome.Eval(eng.Records()),
+		Distance:  d,
+		Rounds:    rounds,
+		Basis:     basis,
+	}, nil
 }
 
 // Quiescence verifies that repeated rounds of error correction leave every

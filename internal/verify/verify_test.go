@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"tiscc/internal/core"
+	"tiscc/internal/orqcs"
+	"tiscc/internal/pauli"
 	"tiscc/internal/tomo"
 )
 
@@ -194,5 +196,33 @@ func TestBellTomography(t *testing.T) {
 				t.Errorf("d=%d seed=%d: Bell fidelity %v, want 1", d, seed, f)
 			}
 		}
+	}
+}
+
+// TestMemoryExperiment checks the compiled memory workload in both bases:
+// the decoded-outcome formula must be seed-independent on noiseless runs
+// (it is the deterministic logical value), reference the transversal
+// records, and reject bad bases.
+func TestMemoryExperiment(t *testing.T) {
+	for _, basis := range []pauli.Kind{pauli.Z, pauli.X} {
+		mem, err := MemoryExperiment(3, 2, basis)
+		if err != nil {
+			t.Fatalf("basis %v: %v", basis, err)
+		}
+		if mem.Prog.NumInstrs() == 0 || len(mem.Outcome.IDs) < 3 {
+			t.Fatalf("basis %v: degenerate experiment (instrs=%d, outcome=%v)",
+				basis, mem.Prog.NumInstrs(), mem.Outcome)
+		}
+		for _, seed := range []int64{2, 3, 99} {
+			e := orqcs.NewFromProgram(mem.Prog)
+			e.RunShot(seed)
+			if got := mem.Outcome.Eval(e.Records()); got != mem.Reference {
+				t.Fatalf("basis %v seed %d: noiseless outcome %v, reference %v",
+					basis, seed, got, mem.Reference)
+			}
+		}
+	}
+	if _, err := MemoryExperiment(3, 1, pauli.Y); err == nil {
+		t.Fatal("expected error for Y-basis memory")
 	}
 }

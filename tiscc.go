@@ -41,7 +41,9 @@ import (
 	"tiscc/internal/grid"
 	"tiscc/internal/hardware"
 	"tiscc/internal/instr"
+	"tiscc/internal/noise"
 	"tiscc/internal/orqcs"
+	"tiscc/internal/pauli"
 	"tiscc/internal/resource"
 	"tiscc/internal/tomo"
 	"tiscc/internal/verify"
@@ -129,6 +131,26 @@ type (
 	Channel = tomo.Channel
 )
 
+// Noise-model types (stochastic Pauli fault injection and logical-error-rate
+// estimation).
+type (
+	// NoiseModel assigns circuit-level stochastic Pauli error probabilities
+	// to gate classes, plus idle dephasing and transport heating.
+	NoiseModel = noise.Model
+	// FaultSchedule is a noise model compiled against a lowered Program: a
+	// flat per-instruction fault table sampled in the per-shot hot loop.
+	FaultSchedule = noise.Schedule
+	// LogicalErrorOptions configures a logical-error-rate estimation run
+	// (shots, seed, workers, early-stopping target).
+	LogicalErrorOptions = noise.Options
+	// LogicalErrorResult reports a logical error rate with its 95% Wilson
+	// confidence interval.
+	LogicalErrorResult = noise.Result
+	// MemoryExperiment is a compiled logical-memory experiment with its
+	// decoded-outcome formula and noiseless reference.
+	MemoryExperiment = verify.Memory
+)
+
 // Canonical arrangements (paper Fig 2).
 var (
 	Standard       = core.Standard
@@ -201,11 +223,83 @@ func EstimateBatch(p *Program, op SitePauli, shots int, seed int64, workers int)
 	return orqcs.EstimateBatch(p, op, shots, seed, workers)
 }
 
+// EstimateMany estimates several Pauli operators over one compiled program
+// in a single multi-shot pass: each shot is simulated once and every
+// operator is evaluated against its final state. Deterministic in
+// (shots, seed) for every worker count; memory is independent of the shot
+// count (streaming Kahan reduction).
+func EstimateMany(p *Program, ops []SitePauli, shots int, seed int64, workers int) (means, stderrs []float64, err error) {
+	return orqcs.EstimateMany(p, ops, shots, seed, workers)
+}
+
 // RunShots executes shots runs of a compiled program across a worker pool,
 // invoking visit after each completed shot; see orqcs.RunShots for the
 // engine-reuse contract.
 func RunShots(p *Program, shots int, seed int64, workers int, visit func(shot int, e *Engine) error) error {
 	return orqcs.RunShots(p, shots, seed, workers, visit)
+}
+
+// --- Noise models and logical error rates ------------------------------------
+
+// IdealNoise returns the noiseless model (empty fault schedules).
+func IdealNoise() NoiseModel { return noise.Ideal() }
+
+// DepolarizingNoise returns the uniform circuit-level depolarizing model:
+// every gate class errs with probability p.
+func DepolarizingNoise(p float64) NoiseModel { return noise.Depolarizing(p) }
+
+// PaperNoise returns the trapped-ion noise model matched to the paper's
+// Table 5 hardware parameters (literature-typical QCCD error rates, idle
+// dephasing from the default T2 and the compiled schedule's idle windows).
+func PaperNoise() NoiseModel { return noise.PaperTable5(hardware.Default()) }
+
+// CompileNoise flattens a noise model against a compiled program into a
+// reusable fault schedule. Idle windows recorded at program lowering time
+// are converted to dephasing probabilities here, once; the schedule is then
+// shared by any number of concurrent noisy shot workers.
+func CompileNoise(m NoiseModel, p *Program) *FaultSchedule { return noise.Compile(m, p) }
+
+// RunProgramNoisy executes one noisy simulation shot of a compiled program
+// under the given noise model and returns the engine for inspection. It
+// compiles a fresh fault schedule per call: for repeated noisy shots,
+// CompileNoise once and use the schedule's RunShot / RunShots / EstimateMany.
+func RunProgramNoisy(p *Program, m NoiseModel, seed int64) *Engine {
+	s := noise.Compile(m, p)
+	e := orqcs.NewFromProgram(p)
+	s.RunShot(e, seed)
+	return e
+}
+
+// CompileMemoryExperiment compiles a distance-d logical-memory experiment
+// (transversal |0̄⟩ preparation, rounds cycles of error correction, then a
+// transversal logical-Z readout) together with the record formula that
+// decodes its logical outcome (paper Sec 4.5).
+func CompileMemoryExperiment(d, rounds int) (*MemoryExperiment, error) {
+	return verify.MemoryExperiment(d, rounds, pauli.Z)
+}
+
+// EstimateLogicalErrorRate estimates the logical error rate of a distance-d
+// memory experiment under a noise model: noisy shots are run through the
+// fault-injecting simulator, each shot's logical outcome is decoded from its
+// measurement records, and the rate of disagreement with the noiseless
+// reference is reported with a 95% Wilson confidence interval. The result is
+// deterministic in (d, rounds, model, options) for every worker count.
+func EstimateLogicalErrorRate(d, rounds int, m NoiseModel, opt LogicalErrorOptions) (LogicalErrorResult, error) {
+	if err := m.Validate(); err != nil {
+		return LogicalErrorResult{}, err
+	}
+	mem, err := verify.MemoryExperiment(d, rounds, pauli.Z)
+	if err != nil {
+		return LogicalErrorResult{}, err
+	}
+	return noise.EstimateLogicalError(noise.Compile(m, mem.Prog), mem.Outcome, mem.Reference, opt)
+}
+
+// EstimateLogicalError runs the logical-error estimator over an
+// already-compiled fault schedule and outcome formula — the lower-level
+// entry point behind EstimateLogicalErrorRate, for custom experiments.
+func EstimateLogicalError(s *FaultSchedule, outcome Expr, reference bool, opt LogicalErrorOptions) (LogicalErrorResult, error) {
+	return noise.EstimateLogicalError(s, outcome, reference, opt)
 }
 
 // RunCircuit executes one simulation shot of a compiled circuit (a thin

@@ -153,3 +153,97 @@ func TestFacadeVerify(t *testing.T) {
 		t.Fatalf("⟨Z̄⟩ = %v", b[2])
 	}
 }
+
+// TestFacadeNoise exercises the noise subsystem through the public API:
+// model presets, fault-schedule compilation, single noisy shots, and the
+// end-to-end logical-error-rate estimator with its determinism guarantee.
+func TestFacadeNoise(t *testing.T) {
+	if !tiscc.IdealNoise().IsIdeal() {
+		t.Fatal("IdealNoise not ideal")
+	}
+	if err := tiscc.PaperNoise().Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	mem, err := tiscc.CompileMemoryExperiment(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := tiscc.CompileNoise(tiscc.DepolarizingNoise(1e-2), mem.Prog)
+	if sched.NumFaultSites() == 0 {
+		t.Fatal("depolarizing schedule has no fault sites")
+	}
+	if e := tiscc.RunProgramNoisy(mem.Prog, tiscc.DepolarizingNoise(1e-2), 3); len(e.Records()) == 0 {
+		t.Fatal("noisy shot produced no records")
+	}
+
+	opt := tiscc.LogicalErrorOptions{Shots: 150, Seed: 5}
+	ref, err := tiscc.EstimateLogicalErrorRate(3, 1, tiscc.DepolarizingNoise(1e-2), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Errors == 0 || ref.Rate <= 0 || ref.Rate > 1 {
+		t.Fatalf("implausible logical error rate at p=1e-2: %v", ref)
+	}
+	if !(ref.WilsonLow <= ref.Rate && ref.Rate <= ref.WilsonHigh) {
+		t.Fatalf("Wilson interval does not bracket the rate: %v", ref)
+	}
+	opt.Workers = 3
+	again, err := tiscc.EstimateLogicalErrorRate(3, 1, tiscc.DepolarizingNoise(1e-2), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != ref {
+		t.Fatalf("worker count changed the result: %+v vs %+v", again, ref)
+	}
+
+	ideal, err := tiscc.EstimateLogicalErrorRate(3, 1, tiscc.IdealNoise(), tiscc.LogicalErrorOptions{Shots: 50, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ideal.Errors != 0 {
+		t.Fatalf("ideal noise produced logical errors: %v", ideal)
+	}
+}
+
+// TestFacadeEstimateMany checks the multi-operator batch estimator and the
+// dead-code-elimination peephole through the public API.
+func TestFacadeEstimateMany(t *testing.T) {
+	layout, err := tiscc.NewLayout(1, 1, 2, 2, 2, tiscc.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile := tiscc.TileCoord{R: 0, C: 0}
+	if _, err := layout.Inject(tile, tiscc.InjectT); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := tiscc.CompileProgram(layout.Circuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, _ := layout.Tile(tile)
+	var ops []tiscc.SitePauli
+	for _, k := range []tiscc.LogicalKind{tiscc.LogicalX, tiscc.LogicalZ} {
+		op, _ := layout.C.SitePauli(tl.LQ.GeoRep(k))
+		ops = append(ops, op)
+	}
+	slim, err := prog.Eliminate(ops...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slim.NumInstrs() > prog.NumInstrs() {
+		t.Fatal("elimination grew the program")
+	}
+	means, stderrs, err := tiscc.EstimateMany(slim, ops, 500, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(means) != 2 || len(stderrs) != 2 {
+		t.Fatalf("wrong result arity: %d means", len(means))
+	}
+	for j, m := range means {
+		if m < -1.1 || m > 1.1 {
+			t.Fatalf("op %d mean %v out of range", j, m)
+		}
+	}
+}
