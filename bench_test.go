@@ -13,6 +13,7 @@ import (
 	"tiscc"
 	"tiscc/internal/circuit"
 	"tiscc/internal/core"
+	"tiscc/internal/decoder"
 	"tiscc/internal/hardware"
 	"tiscc/internal/instr"
 	"tiscc/internal/noise"
@@ -535,6 +536,99 @@ func BenchmarkNoisyVsNoiselessShot(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			sched.RunShot(e, orqcs.ShotSeed(1, i))
+		}
+	})
+}
+
+// BenchmarkDecodedShot measures the per-shot overhead of union-find
+// syndrome decoding on a d=5 memory experiment under the paper's Table 5
+// noise: the noisy sub-benchmark runs the fault-injecting shot loop alone,
+// the decoded one adds detector evaluation plus cluster growth and peeling.
+// The decoder subsystem's acceptance target is that the decoded loop stays
+// within 3× of the noisy loop.
+func BenchmarkDecodedShot(b *testing.B) {
+	mem, err := verify.MemoryExperiment(5, 5, pauli.Z)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := noise.Compile(noise.PaperTable5(hardware.Default()), mem.Prog)
+	b.Run("noisy", func(b *testing.B) {
+		e := orqcs.NewFromProgram(mem.Prog)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sched.RunShot(e, orqcs.ShotSeed(1, i))
+		}
+	})
+	b.Run("noisy+decode", func(b *testing.B) {
+		dets, err := decoder.Extract(mem)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := decoder.CompileGraph(dets, sched)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := orqcs.NewFromProgram(mem.Prog)
+		errs := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sched.RunShot(e, orqcs.ShotSeed(1, i))
+			if g.DecodeOutcome(e.Records()) != mem.Reference {
+				errs++
+			}
+		}
+		b.ReportMetric(float64(errs)/float64(b.N), "p_L")
+	})
+}
+
+// BenchmarkCompileDecoderGraph measures the one-time detector-error-model
+// compilation that the decoded shot loop amortizes (frame propagation of
+// every fault branch plus graph construction).
+func BenchmarkCompileDecoderGraph(b *testing.B) {
+	mem, err := verify.MemoryExperiment(5, 5, pauli.Z)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := noise.Compile(noise.PaperTable5(hardware.Default()), mem.Prog)
+	dets, err := decoder.Extract(mem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decoder.CompileGraph(dets, sched); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFuseRotations measures the rotation-fusion peephole: the one-time
+// rewrite cost and the per-shot win of the shortened stream.
+func BenchmarkFuseRotations(b *testing.B) {
+	mem, err := verify.MemoryExperiment(5, 5, pauli.Z)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("rewrite", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if f := mem.Prog.FuseRotations(); f.NumInstrs() >= mem.Prog.NumInstrs() {
+				b.Fatal("fusion did not shorten the stream")
+			}
+		}
+	})
+	fused := mem.Prog.FuseRotations()
+	b.Run("shot-original", func(b *testing.B) {
+		e := orqcs.NewFromProgram(mem.Prog)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.RunShot(orqcs.ShotSeed(1, i))
+		}
+	})
+	b.Run("shot-fused", func(b *testing.B) {
+		e := orqcs.NewFromProgram(fused)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.RunShot(orqcs.ShotSeed(1, i))
 		}
 	})
 }

@@ -7,13 +7,21 @@
 //
 // Usage:
 //
-//	orqcs -circuit file.tiscc [-seed 1] [-shots 1] [-workers 0] [-expect "Z@0.2,X@4.6"] [-noise p]
+//	orqcs -circuit file.tiscc [-seed 1] [-shots 1] [-workers 0] [-expect "Z@0.2,X@4.6"] [-noise p] [-fuse]
+//	orqcs -memory d[:rounds] [-noise p] [-decode] [-shots N] [-dem file.dem]
 //
 // The circuit is compiled once into a lowered program; multi-shot estimates
 // then run on a deterministic parallel worker pool (results depend only on
 // the seed, never on the worker count). With -noise p, shots run under a
 // uniform circuit-level depolarizing model at physical error rate p, with
-// faults injected per instruction from a compiled fault schedule.
+// faults injected per instruction from a compiled fault schedule. -fuse
+// applies the single-qubit rotation fusion peephole before simulating.
+//
+// -memory runs a compiled distance-d logical memory experiment instead of a
+// circuit file: with -noise p it estimates the logical error rate, with
+// -decode each shot's syndrome history is union-find decoded first, and
+// -dem writes the experiment's Stim-compatible detector error model so
+// external decoders (PyMatching et al.) can consume it.
 package main
 
 import (
@@ -21,13 +29,16 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"tiscc/internal/circuit"
+	"tiscc/internal/decoder"
 	"tiscc/internal/grid"
 	"tiscc/internal/noise"
 	"tiscc/internal/orqcs"
 	"tiscc/internal/pauli"
+	"tiscc/internal/verify"
 )
 
 func main() {
@@ -39,10 +50,18 @@ func main() {
 		expect  = flag.String("expect", "", "comma-separated Pauli ops, e.g. Z@0.2,X@4.6")
 		quiet   = flag.Bool("quiet", false, "suppress the record table")
 		noiseP  = flag.Float64("noise", 0, "uniform depolarizing physical error rate (0 = noiseless)")
+		fuse    = flag.Bool("fuse", false, "fuse adjacent single-qubit Clifford rotations before simulating")
+		memory  = flag.String("memory", "", "run a memory experiment instead of a circuit file: d or d:rounds")
+		decode  = flag.Bool("decode", false, "with -memory -noise: union-find-decode each shot's syndrome history")
+		demFile = flag.String("dem", "", "with -memory: write the Stim-compatible detector error model to this file")
 	)
 	flag.Parse()
+	if *memory != "" {
+		runMemory(*memory, *noiseP, *decode, *demFile, *shots, *seed, *workers, *fuse)
+		return
+	}
 	if *file == "" {
-		fmt.Fprintln(os.Stderr, "orqcs: -circuit is required")
+		fmt.Fprintln(os.Stderr, "orqcs: -circuit or -memory is required")
 		os.Exit(2)
 	}
 	text, err := os.ReadFile(*file)
@@ -61,6 +80,11 @@ func main() {
 	prog, err := orqcs.Compile(circ)
 	if err != nil {
 		fatal(err)
+	}
+	if *fuse {
+		before := prog.NumInstrs()
+		prog = prog.FuseRotations()
+		fmt.Fprintf(os.Stderr, "orqcs: rotation fusion %d → %d instructions\n", before, prog.NumInstrs())
 	}
 	var sched *noise.Schedule
 	if *noiseP != 0 {
@@ -122,6 +146,84 @@ func main() {
 		}
 		fmt.Printf("expectation %s = %+g\n", *expect, v)
 	}
+}
+
+// runMemory compiles a distance-d memory experiment and either writes its
+// detector error model, estimates its (optionally decoded) logical error
+// rate under depolarizing noise, or both.
+func runMemory(spec string, noiseP float64, decode bool, demFile string, shots int, seed int64, workers int, fuse bool) {
+	d, rounds := 0, 0
+	parts := strings.SplitN(spec, ":", 2)
+	d, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		fatal(fmt.Errorf("bad -memory %q: %w", spec, err))
+	}
+	rounds = d
+	if len(parts) == 2 {
+		if rounds, err = strconv.Atoi(strings.TrimSpace(parts[1])); err != nil {
+			fatal(fmt.Errorf("bad -memory %q: %w", spec, err))
+		}
+	}
+	mem, err := verify.MemoryExperiment(d, rounds, pauli.Z)
+	if err != nil {
+		fatal(err)
+	}
+	if fuse {
+		// Fusion preserves shot outcomes bit-for-bit, so the experiment's
+		// outcome formula and reference stay valid on the fused program.
+		mem.Prog = mem.Prog.FuseRotations()
+	}
+	fmt.Printf("memory experiment d=%d rounds=%d: %d qubits, %d instructions\n",
+		d, rounds, mem.Prog.NumQubits(), mem.Prog.NumInstrs())
+	m := noise.Depolarizing(noiseP)
+	if err := m.Validate(); err != nil {
+		fatal(err)
+	}
+	sched := noise.Compile(m, mem.Prog)
+	var dets *decoder.Detectors
+	if demFile != "" || decode {
+		if dets, err = decoder.Extract(mem); err != nil {
+			fatal(err)
+		}
+	}
+	if demFile != "" {
+		if noiseP == 0 {
+			fmt.Fprintln(os.Stderr, "orqcs: -dem with -noise 0 writes a detector error model with no error mechanisms")
+		}
+		f, err := os.Create(demFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := decoder.WriteDEM(f, dets, sched); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote detector error model (%d detectors, %d fault sites) to %s\n",
+			dets.NumDetectors(), sched.NumFaultSites(), demFile)
+	}
+	if noiseP == 0 {
+		if decode || shots > 1 {
+			fmt.Fprintln(os.Stderr, "orqcs: -noise 0: nothing to estimate (-decode/-shots ignored)")
+		}
+		return
+	}
+	opt := noise.Options{Shots: shots, Seed: seed, Workers: workers}
+	label := "raw readout"
+	if decode {
+		g, err := decoder.CompileGraph(dets, sched)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Decoder = g
+		label = "union-find decoded"
+	}
+	res, err := noise.EstimateLogicalError(sched, mem.Outcome, mem.Reference, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("depolarizing p=%g (%s): %v\n", noiseP, label, res)
 }
 
 func parseExpect(s string) (orqcs.SitePauli, error) {

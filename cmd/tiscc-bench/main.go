@@ -14,6 +14,7 @@
 //	tiscc-bench -verify
 //	tiscc-bench -simbench [-d 5] [-shots 200]
 //	tiscc-bench -noise [-dlist 3,5] [-plist 1e-4,...] [-rounds 0] [-shots N] [-model depolarizing|table5] [-seed 1]
+//	tiscc-bench -noise -decode ...  (adds union-find syndrome decoding: p-vs-p_L threshold sweeps)
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 
 	"tiscc/internal/circuit"
 	"tiscc/internal/core"
+	"tiscc/internal/decoder"
 	"tiscc/internal/hardware"
 	"tiscc/internal/instr"
 	"tiscc/internal/noise"
@@ -52,6 +54,7 @@ func main() {
 		rounds = flag.Int("rounds", 0, "error-correction rounds per memory experiment (0 = d)")
 		model  = flag.String("model", "depolarizing", "noise model for the sweep: depolarizing (swept over -plist) or table5")
 		seed   = flag.Int64("seed", 1, "base seed for the -noise sweep (output is deterministic per seed)")
+		decode = flag.Bool("decode", false, "with -noise: union-find-decode each shot's syndrome history (threshold sweeps)")
 	)
 	flag.Parse()
 	if *all {
@@ -98,7 +101,7 @@ func main() {
 				nshots = *shots
 			}
 		})
-		runNoiseSweep(ds, parseFloats(*plist), *rounds, nshots, *seed, *model)
+		runNoiseSweep(ds, parseFloats(*plist), *rounds, nshots, *seed, *model, *decode)
 		did = true
 	}
 	if !did {
@@ -110,10 +113,11 @@ func main() {
 // runNoiseSweep estimates logical error rates of memory experiments across
 // code distances and physical error rates: |0̄⟩ is prepared transversally,
 // idled for `rounds` cycles of syndrome extraction, transversally measured,
-// and each noisy shot's decoded logical outcome is compared against the
-// noiseless reference. Output is deterministic for a fixed seed, regardless
-// of worker count or machine.
-func runNoiseSweep(ds []int, ps []float64, rounds, shots int, seed int64, model string) {
+// and each noisy shot's logical outcome — union-find-decoded from the
+// syndrome history when decode is set, raw transversal readout otherwise —
+// is compared against the noiseless reference. Output is deterministic for
+// a fixed seed, regardless of worker count or machine.
+func runNoiseSweep(ds []int, ps []float64, rounds, shots int, seed int64, model string, decode bool) {
 	if model != "depolarizing" && model != "table5" {
 		fmt.Fprintf(os.Stderr, "noise sweep: unknown -model %q (want depolarizing or table5)\n", model)
 		os.Exit(2)
@@ -123,7 +127,11 @@ func runNoiseSweep(ds []int, ps []float64, rounds, shots int, seed int64, model 
 		os.Exit(2)
 	}
 	fmt.Println("== Logical error rate vs physical error rate (memory experiments) ==")
-	fmt.Printf("model=%s, shots=%d/point, seed=%d (raw transversal readout, no decoder)\n", model, shots, seed)
+	mode := "raw transversal readout, no decoder"
+	if decode {
+		mode = "union-find decoded syndrome history"
+	}
+	fmt.Printf("model=%s, shots=%d/point, seed=%d (%s)\n", model, shots, seed, mode)
 	for _, d := range ds {
 		r := rounds
 		if r <= 0 {
@@ -134,8 +142,18 @@ func runNoiseSweep(ds []int, ps []float64, rounds, shots int, seed int64, model 
 			fmt.Fprintln(os.Stderr, "noise sweep:", err)
 			return
 		}
-		fmt.Printf("\nd=%d (rounds=%d, %d qubits, %d instructions)\n",
-			d, r, mem.Prog.NumQubits(), mem.Prog.NumInstrs())
+		var dets *decoder.Detectors
+		if decode {
+			if dets, err = decoder.Extract(mem); err != nil {
+				fmt.Fprintln(os.Stderr, "noise sweep:", err)
+				return
+			}
+		}
+		fmt.Printf("\nd=%d (rounds=%d, %d qubits, %d instructions", d, r, mem.Prog.NumQubits(), mem.Prog.NumInstrs())
+		if dets != nil {
+			fmt.Printf(", %d detectors", dets.NumDetectors())
+		}
+		fmt.Println(")")
 		fmt.Printf("  %-10s %-8s %-8s %-12s %-10s %s\n",
 			"p_phys", "shots", "errors", "p_L", "stderr", "95% Wilson CI")
 		models := make([]noise.Model, 0, len(ps))
@@ -152,8 +170,16 @@ func runNoiseSweep(ds []int, ps []float64, rounds, shots int, seed int64, model 
 				return
 			}
 			sched := noise.Compile(m, mem.Prog)
-			res, err := noise.EstimateLogicalError(sched, mem.Outcome, mem.Reference,
-				noise.Options{Shots: shots, Seed: seed})
+			opt := noise.Options{Shots: shots, Seed: seed}
+			if decode {
+				g, err := decoder.CompileGraph(dets, sched)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "noise sweep:", err)
+					return
+				}
+				opt.Decoder = g
+			}
+			res, err := noise.EstimateLogicalError(sched, mem.Outcome, mem.Reference, opt)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "noise sweep:", err)
 				return

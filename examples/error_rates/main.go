@@ -8,10 +8,10 @@
 // the compiler's Sec 4.5 formulas — is compared against the noiseless
 // reference. The reported rate carries a 95% Wilson confidence interval.
 //
-// The readout is the raw transversal parity (no decoder), so the logical
-// error rate grows with both the physical rate and the patch size; decoder
-// integration is the ROADMAP follow-on that turns these curves into
-// threshold plots.
+// The readout here is the raw transversal parity (no decoder), so the
+// logical error rate grows with both the physical rate and the patch size;
+// see examples/threshold for the union-find-decoded curves where distance
+// helps.
 package main
 
 import (

@@ -1,0 +1,231 @@
+// Package decoder turns per-shot syndrome history into corrected logical
+// outcomes: the error-correction layer that converts the noisy sampler of
+// internal/noise into a genuine surface-code resource estimator.
+//
+// Three layers mirror the standard detector-error-model pipeline of
+// stabilizer samplers (Stim/PyMatching):
+//
+//   - detector extraction (Extract): the record tables of a compiled memory
+//     experiment — per-round plaquette records plus the final transversal
+//     data readout — are folded into detectors, parity checks over records
+//     whose noiseless value is deterministic, plus the logical observable's
+//     record set;
+//   - decoding-graph construction (CompileGraph): every fault location of a
+//     compiled noise Schedule is propagated, branch by branch, through the
+//     lowered instruction stream as a Pauli frame; the detectors each branch
+//     flips (and whether it flips the observable) compile into a weighted
+//     matching graph, cached once per (program, model) exactly like the
+//     fault schedule itself;
+//   - union-find decoding (Graph.DecodeOutcome): per shot, fired detectors
+//     are clustered by Delfosse–Nickerson-style growth with boundary
+//     absorption and peeled for the correction's observable parity, with
+//     zero allocations in the hot loop via pooled per-worker scratch state.
+package decoder
+
+import (
+	"fmt"
+	"sort"
+
+	"tiscc/internal/core"
+	"tiscc/internal/orqcs"
+	"tiscc/internal/pauli"
+	"tiscc/internal/verify"
+)
+
+// Detector is one parity check over measurement records whose value on a
+// noiseless run is deterministic (Ref). A noisy shot fires the detector when
+// the XOR of its records differs from Ref.
+type Detector struct {
+	Recs []int32    // record indices XORed by this detector
+	Ref  bool       // deterministic noiseless value
+	Face core.Face  // plaquette the detector compares (space coordinate)
+	Type pauli.Kind // stabilizer type of the plaquette
+	// Round is the detector's time coordinate: r compares syndrome rounds
+	// r−1 and r (with round −1 the deterministic preparation layer folded
+	// into round 0), and Round == rounds marks the final comparison against
+	// the plaquette parity reconstructed from the transversal data readout.
+	Round int
+}
+
+// Detectors is the detector/observable structure of one compiled memory
+// experiment: the full set of space-time parity checks plus the logical
+// observable's record set. It is immutable after Extract and may be shared
+// by any number of graphs and workers.
+type Detectors struct {
+	Dets []Detector
+	// Obs is the record support of the logical observable; ObsConst is the
+	// constant term of the readout formula and ObsRef the observable's
+	// noiseless value (Memory.Reference).
+	Obs      []int32
+	ObsConst bool
+	ObsRef   bool
+
+	rounds int
+	basis  pauli.Kind
+}
+
+// NumDetectors returns the number of detectors.
+func (d *Detectors) NumDetectors() int { return len(d.Dets) }
+
+// Rounds returns the syndrome-round count of the underlying experiment.
+func (d *Detectors) Rounds() int { return d.rounds }
+
+// Basis returns the memory basis of the underlying experiment.
+func (d *Detectors) Basis() pauli.Kind { return d.basis }
+
+// RawOutcome evaluates the uncorrected observable readout against a shot's
+// record table.
+func (d *Detectors) RawOutcome(records map[int32]bool) bool {
+	v := d.ObsConst
+	for _, id := range d.Obs {
+		if records[id] {
+			v = !v
+		}
+	}
+	return v
+}
+
+// Extract walks the record tables of a compiled memory experiment and emits
+// its detector/observable structure:
+//
+//   - for every plaquette whose type matches the memory basis (deterministic
+//     from the transversal preparation), a time-boundary detector on its
+//     first-round record, bulk detectors XORing consecutive rounds, and a
+//     final detector XORing the last round against the plaquette parity
+//     reconstructed from the transversal data measurements;
+//   - for every plaquette of the opposite type (random first outcome, basis
+//     not read out transversally), bulk detectors between consecutive rounds
+//     only.
+//
+// Every detector's reference value is computed from noiseless runs of the
+// program (and cross-checked across two seeds, which catches any
+// non-deterministic parity combination — a compiler/decoder mismatch).
+func Extract(mem *verify.Memory) (*Detectors, error) {
+	if mem.Prog == nil {
+		return nil, fmt.Errorf("decoder: memory experiment has no compiled program")
+	}
+	if !mem.Prog.Clifford() {
+		return nil, fmt.Errorf("decoder: program contains non-Clifford gates")
+	}
+	if mem.Outcome.HasVirtual() {
+		return nil, fmt.Errorf("decoder: outcome formula references virtual records")
+	}
+	if len(mem.RoundRecords) != mem.Rounds {
+		return nil, fmt.Errorf("decoder: memory experiment records %d rounds, header says %d",
+			len(mem.RoundRecords), mem.Rounds)
+	}
+	d := &Detectors{
+		Obs:      append([]int32(nil), mem.Outcome.IDs...),
+		ObsConst: mem.Outcome.Const,
+		ObsRef:   mem.Reference,
+		rounds:   mem.Rounds,
+		basis:    mem.Basis,
+	}
+	var plaqs []*core.Plaquette
+	if mem.Rounds > 0 {
+		plaqs = mem.RoundRecords[0].Plaqs
+	}
+	for _, p := range plaqs {
+		chain := make([]int32, mem.Rounds)
+		for r, rr := range mem.RoundRecords {
+			rec, ok := rr.Records[p.Face]
+			if !ok {
+				return nil, fmt.Errorf("decoder: plaquette %v missing from round %d", p.Face, r)
+			}
+			chain[r] = rec
+		}
+		deterministic := p.Type == mem.Basis
+		if deterministic {
+			// Time boundary at preparation: the first round's outcome is
+			// fixed by the transversal product state.
+			d.Dets = append(d.Dets, Detector{
+				Recs: chain[:1], Face: p.Face, Type: p.Type, Round: 0,
+			})
+		}
+		for r := 1; r < mem.Rounds; r++ {
+			d.Dets = append(d.Dets, Detector{
+				Recs: []int32{chain[r-1], chain[r]},
+				Face: p.Face, Type: p.Type, Round: r,
+			})
+		}
+		if deterministic && mem.Rounds > 0 {
+			// Time boundary at readout: the plaquette parity survives in the
+			// transversal data measurements.
+			recs := []int32{chain[mem.Rounds-1]}
+			for _, cell := range p.Cells() {
+				rec, ok := mem.DataRecords[cell]
+				if !ok {
+					return nil, fmt.Errorf("decoder: data cell %v of plaquette %v not measured", cell, p.Face)
+				}
+				recs = append(recs, rec)
+			}
+			d.Dets = append(d.Dets, Detector{
+				Recs: recs, Face: p.Face, Type: p.Type, Round: mem.Rounds,
+			})
+		}
+	}
+	if err := d.referenceValues(mem.Prog, mem.Reference); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// referenceValues fills in each detector's deterministic noiseless value,
+// verifying determinism across two differently-seeded runs.
+func (d *Detectors) referenceValues(prog *orqcs.Program, wantObs bool) error {
+	eng := orqcs.NewFromProgram(prog)
+	for pass, seed := range []int64{2, 5} {
+		eng.RunShot(seed)
+		recs := eng.Records()
+		for i := range d.Dets {
+			det := &d.Dets[i]
+			v := false
+			for _, id := range det.Recs {
+				b, ok := recs[id]
+				if !ok {
+					return fmt.Errorf("decoder: detector record %d absent from simulation", id)
+				}
+				if b {
+					v = !v
+				}
+			}
+			if pass == 0 {
+				det.Ref = v
+			} else if det.Ref != v {
+				return fmt.Errorf("decoder: detector %d (%v round %d) is not deterministic", i, det.Face, det.Round)
+			}
+		}
+		if got := d.RawOutcome(recs); got != wantObs {
+			return fmt.Errorf("decoder: noiseless observable %v, reference says %v", got, wantObs)
+		}
+	}
+	return nil
+}
+
+// recIndex maps record ids to the detectors containing them and flags
+// observable membership; it is the reusable lookup behind symptom
+// accumulation (graph compilation) and per-shot syndrome evaluation.
+type recIndex struct {
+	dets map[int32][]int32
+	obs  map[int32]bool
+}
+
+func (d *Detectors) index() *recIndex {
+	ix := &recIndex{dets: make(map[int32][]int32), obs: make(map[int32]bool, len(d.Obs))}
+	for i := range d.Dets {
+		for _, id := range d.Dets[i].Recs {
+			ix.dets[id] = append(ix.dets[id], int32(i))
+		}
+	}
+	for _, id := range d.Obs {
+		ix.obs[id] = true
+	}
+	return ix
+}
+
+// sortedDetIDs returns det ids sorted ascending (symptoms are kept in a
+// canonical order so edge keys and DEM output are deterministic).
+func sortedDetIDs(ids []int32) []int32 {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

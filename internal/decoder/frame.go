@@ -1,0 +1,167 @@
+package decoder
+
+import (
+	"fmt"
+
+	"tiscc/internal/noise"
+	"tiscc/internal/orqcs"
+)
+
+// frameSim propagates a single Pauli frame (the X/Z bits of one injected
+// fault, tracked modulo phase) through a lowered Clifford instruction
+// stream. The conjugation rules are the per-row updates of
+// tableau.T restricted to one Pauli; a measurement's record flips exactly
+// when the frame carries X on the measured qubit (the Stim-style frame
+// gauge), and a preparation destroys the frame on its qubit.
+//
+// Propagating one branch is O(remaining instructions) with O(1) work per
+// instruction, which is what makes detector-error-model compilation cheap
+// enough to run once per (program, model): the alternative — a full
+// differential tableau simulation per branch — is two orders of magnitude
+// slower and is kept only as a cross-validation oracle in the tests.
+type frameSim struct {
+	instrs  []orqcs.Instr
+	x, z    []bool
+	touched []int32 // qubits with potentially non-zero frame bits
+}
+
+func newFrameSim(p *orqcs.Program) *frameSim {
+	return &frameSim{
+		instrs: p.Instructions(),
+		x:      make([]bool, p.NumQubits()),
+		z:      make([]bool, p.NumQubits()),
+	}
+}
+
+// reset clears the frame (O(touched)).
+func (f *frameSim) reset() {
+	for _, q := range f.touched {
+		f.x[q], f.z[q] = false, false
+	}
+	f.touched = f.touched[:0]
+}
+
+// set deposits Pauli bits on qubit q.
+func (f *frameSim) set(q int32, x, z bool) {
+	if !x && !z {
+		return
+	}
+	f.x[q] = f.x[q] != x
+	f.z[q] = f.z[q] != z
+	f.touched = append(f.touched, q)
+}
+
+// propagate runs the frame from instruction slot to the end of the stream,
+// calling flip for every measurement record the frame flips. The frame must
+// have been seeded with set(); propagate leaves it dirty (call reset before
+// reuse).
+func (f *frameSim) propagate(slot int, flip func(rec int32)) {
+	for i := slot; i < len(f.instrs); i++ {
+		in := &f.instrs[i]
+		q := in.Q1
+		switch in.Op {
+		case orqcs.OpPrepareZ:
+			f.x[q], f.z[q] = false, false
+		case orqcs.OpMeasureZ:
+			if f.x[q] {
+				flip(in.Rec)
+			}
+		case orqcs.OpX, orqcs.OpY, orqcs.OpZ:
+			// Paulis commute with the frame up to phase.
+		case orqcs.OpSqrtX, orqcs.OpSqrtXDg:
+			// Z → ±Y: the Z bit induces an X bit.
+			if f.z[q] {
+				f.x[q] = !f.x[q]
+				f.touched = append(f.touched, q)
+			}
+		case orqcs.OpSqrtY, orqcs.OpSqrtYDg:
+			// X ↔ ±Z: swap the bits.
+			f.x[q], f.z[q] = f.z[q], f.x[q]
+		case orqcs.OpS, orqcs.OpSdg:
+			// X → ±Y: the X bit induces a Z bit.
+			if f.x[q] {
+				f.z[q] = !f.z[q]
+				f.touched = append(f.touched, q)
+			}
+		case orqcs.OpZZ:
+			// X content on exactly one operand flips both Z bits (the
+			// fused-row update of tableau.ZZ).
+			q2 := in.Q2
+			if f.x[q] != f.x[q2] {
+				f.z[q] = !f.z[q]
+				f.z[q2] = !f.z[q2]
+				f.touched = append(f.touched, q, q2)
+			}
+		default:
+			panic(fmt.Sprintf("decoder: non-Clifford opcode %d in frame propagation", in.Op))
+		}
+	}
+}
+
+// mechanism is one elementary error: a fault branch's probability, the
+// detectors it flips (sorted) and whether it flips the logical observable.
+type mechanism struct {
+	p    float64
+	dets []int32
+	obs  bool
+}
+
+// forEachMechanism enumerates every (fault, branch) of the schedule,
+// propagates it to its detector symptom and hands the resulting mechanism to
+// visit. Branches with empty symptom and no observable effect are skipped.
+// The dets slice passed to visit is only valid during the call.
+func forEachMechanism(d *Detectors, s *noise.Schedule, visit func(m mechanism) error) error {
+	prog := s.Program()
+	if !prog.Clifford() {
+		return fmt.Errorf("decoder: schedule program contains non-Clifford gates")
+	}
+	ix := d.index()
+	fs := newFrameSim(prog)
+	// Per-detector flip parity with a touched list, so clearing between
+	// branches is O(symptom).
+	flipped := make([]bool, len(d.Dets))
+	var touchedDets []int32
+	var dets []int32
+	for slot := 0; slot < s.NumSlots(); slot++ {
+		for _, f := range s.SlotFaults(slot) {
+			for b := 0; b < f.NumBranches(); b++ {
+				p, x1, z1, x2, z2 := f.Branch(b)
+				if p <= 0 {
+					continue
+				}
+				obs := false
+				fs.set(f.Q1, x1, z1)
+				if x2 || z2 {
+					fs.set(f.Q2, x2, z2)
+				}
+				fs.propagate(slot, func(rec int32) {
+					for _, di := range ix.dets[rec] {
+						if !flipped[di] {
+							touchedDets = append(touchedDets, di)
+						}
+						flipped[di] = !flipped[di]
+					}
+					if ix.obs[rec] {
+						obs = !obs
+					}
+				})
+				dets = dets[:0]
+				for _, di := range touchedDets {
+					if flipped[di] {
+						dets = append(dets, di)
+					}
+					flipped[di] = false
+				}
+				touchedDets = touchedDets[:0]
+				fs.reset()
+				if len(dets) == 0 && !obs {
+					continue
+				}
+				if err := visit(mechanism{p: p, dets: sortedDetIDs(dets), obs: obs}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

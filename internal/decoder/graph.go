@@ -1,0 +1,302 @@
+package decoder
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"tiscc/internal/noise"
+)
+
+// Edge is one decoding-graph edge: an elementary error mechanism connecting
+// two detectors (or a detector and the virtual boundary node), carrying the
+// merged firing probability of every fault branch with that symptom and
+// whether the mechanism flips the logical observable.
+type Edge struct {
+	U, V int32 // node ids; V == Graph.Boundary() for boundary edges
+	// Len is the edge's growth length in half-edge units (even, ≥ 2):
+	// proportional to the log-likelihood weight ln((1−p)/p), quantized so
+	// that union-find cluster growth can step it in integers.
+	Len int32
+	Obs bool
+	P   float64
+}
+
+// Graph is a noise model's decoding graph compiled against one memory
+// experiment: detectors as nodes, elementary fault mechanisms as weighted
+// edges, plus the pooled scratch state of the per-shot union-find decoder.
+// Compile once per (program, model) — like the fault schedule itself — and
+// share across any number of concurrent shot workers.
+type Graph struct {
+	det   *Detectors
+	edges []Edge
+
+	// CSR adjacency: node → incident edge indices.
+	adjStart []int32
+	adj      []int32
+
+	boundary int32 // node id of the virtual boundary (== NumDetectors())
+
+	// Diagnostics of detector-error-model compilation.
+	undetectable int // mechanisms flipping the observable with empty symptom
+	undecomposed int // hyper mechanisms dropped by graphlike decomposition
+
+	protoParent []int32
+	maxGrow     int32
+	pool        sync.Pool
+}
+
+// Detectors returns the detector structure the graph decodes.
+func (g *Graph) Detectors() *Detectors { return g.det }
+
+// Edges returns the compiled edge list (read-only).
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Boundary returns the virtual boundary node id.
+func (g *Graph) Boundary() int32 { return g.boundary }
+
+// UndetectableMechanisms reports how many error mechanisms flip the logical
+// observable while firing no detector: such mechanisms are invisible to any
+// decoder and bound the achievable logical fidelity.
+func (g *Graph) UndetectableMechanisms() int { return g.undetectable }
+
+// UndecomposedMechanisms reports how many hyper mechanisms (more than two
+// flipped detectors per stabilizer type) could not be decomposed into known
+// graphlike edges and were dropped from the edge weights.
+func (g *Graph) UndecomposedMechanisms() int { return g.undecomposed }
+
+// edgeKey identifies a node pair plus observable effect during accumulation.
+type edgeKey struct {
+	u, v int32
+	obs  bool
+}
+
+// mergeP combines independent firing probabilities: the edge fires when an
+// odd number of its mechanisms fire.
+func mergeP(a, b float64) float64 { return a + b - 2*a*b }
+
+// CompileGraph compiles a noise schedule against a detector structure into a
+// union-find decoding graph. Every fault branch is propagated through the
+// lowered instruction stream as a Pauli frame; branches flipping ≤ 2
+// detectors become edges directly, and rarer hyper mechanisms (e.g. Y-type
+// or correlated two-qubit branches touching both stabilizer types) are
+// decomposed per stabilizer type into the graphlike edges already defined by
+// simpler branches, which keeps every component's observable effect exact.
+func CompileGraph(d *Detectors, s *noise.Schedule) (*Graph, error) {
+	g := &Graph{det: d, boundary: int32(len(d.Dets))}
+	type accum struct {
+		key edgeKey
+		p   float64
+	}
+	acc := map[edgeKey]int{} // key → index into ordered list
+	var ordered []accum
+	add := func(u, v int32, obs bool, p float64) {
+		if u > v {
+			u, v = v, u
+		}
+		k := edgeKey{u, v, obs}
+		if i, ok := acc[k]; ok {
+			ordered[i].p = mergeP(ordered[i].p, p)
+			return
+		}
+		acc[k] = len(ordered)
+		ordered = append(ordered, accum{key: k, p: p})
+	}
+	// knownObs records the observable effect of graphlike pairs for the
+	// decomposition pass: pair → obs of the most probable variant.
+	type pairInfo struct {
+		obs bool
+		p   float64
+	}
+	known := map[[2]int32]pairInfo{}
+	note := func(u, v int32, obs bool, p float64) {
+		if u > v {
+			u, v = v, u
+		}
+		k := [2]int32{u, v}
+		if prev, ok := known[k]; !ok || p > prev.p {
+			known[k] = pairInfo{obs: obs, p: p}
+		}
+	}
+
+	// Pass 1: graphlike mechanisms define the edge set.
+	var hyper []mechanism
+	err := forEachMechanism(d, s, func(m mechanism) error {
+		switch len(m.dets) {
+		case 0:
+			g.undetectable++
+		case 1:
+			add(m.dets[0], g.boundary, m.obs, m.p)
+			note(m.dets[0], g.boundary, m.obs, m.p)
+		case 2:
+			add(m.dets[0], m.dets[1], m.obs, m.p)
+			note(m.dets[0], m.dets[1], m.obs, m.p)
+		default:
+			hyper = append(hyper, mechanism{p: m.p, dets: append([]int32(nil), m.dets...), obs: m.obs})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 2: decompose hyper mechanisms against the known edge set.
+	var comps [][2]int32
+	for _, m := range hyper {
+		comps = comps[:0]
+		obsSum := false
+		ok := true
+		// Group by stabilizer type, preserving sorted order within groups.
+		for _, wantX := range []bool{false, true} {
+			var grp []int32
+			for _, di := range m.dets {
+				if (d.Dets[di].Type == d.basis) != wantX {
+					grp = append(grp, di)
+				}
+			}
+			used := make([]bool, len(grp))
+			for i := range grp {
+				if used[i] {
+					continue
+				}
+				used[i] = true
+				paired := false
+				for j := i + 1; j < len(grp); j++ {
+					if used[j] {
+						continue
+					}
+					if info, exists := known[[2]int32{grp[i], grp[j]}]; exists {
+						used[j] = true
+						comps = append(comps, [2]int32{grp[i], grp[j]})
+						if info.obs {
+							obsSum = !obsSum
+						}
+						paired = true
+						break
+					}
+				}
+				if paired {
+					continue
+				}
+				if info, exists := known[[2]int32{grp[i], g.boundary}]; exists {
+					comps = append(comps, [2]int32{grp[i], g.boundary})
+					if info.obs {
+						obsSum = !obsSum
+					}
+					continue
+				}
+				ok = false
+			}
+		}
+		// A decomposition is only trusted when every component matched a
+		// known edge and the components reproduce the mechanism's observable
+		// effect exactly; otherwise dropping the (rare, P/15-scale) branch is
+		// safer than poisoning an edge's correction parity.
+		if !ok || obsSum != m.obs {
+			g.undecomposed++
+			continue
+		}
+		for _, c := range comps {
+			info := known[[2]int32{c[0], c[1]}]
+			add(c[0], c[1], info.obs, m.p)
+		}
+	}
+
+	if len(ordered) == 0 {
+		// An empty model (ideal noise): decoding degenerates to the raw
+		// readout. Keep a valid, edgeless graph.
+		g.finish(nil)
+		return g, nil
+	}
+
+	// Deterministic edge order.
+	sort.SliceStable(ordered, func(i, j int) bool {
+		a, b := ordered[i].key, ordered[j].key
+		if a.u != b.u {
+			return a.u < b.u
+		}
+		if a.v != b.v {
+			return a.v < b.v
+		}
+		return !a.obs && b.obs
+	})
+	edges := make([]Edge, len(ordered))
+	minW := math.Inf(1)
+	ws := make([]float64, len(ordered))
+	for i, a := range ordered {
+		p := a.p
+		if p > 0.4999 {
+			p = 0.4999
+		}
+		ws[i] = math.Log((1 - p) / p)
+		if ws[i] < minW {
+			minW = ws[i]
+		}
+		edges[i] = Edge{U: a.key.u, V: a.key.v, Obs: a.key.obs, P: a.p}
+	}
+	for i := range edges {
+		// Quantize log-likelihood weights to integers (most-likely edge →
+		// 16) so growth rounds stay bounded. The resolution matters: a
+		// coarse grid collapses nearby weights into ties, and a tied
+		// cluster-growth race can pair defects through a homologically wrong
+		// (observable-flipping) edge. ×16 keeps the few-percent weight
+		// margins between competing pairings of real fault schedules.
+		w := int32(math.Round(16 * ws[i] / minW))
+		if w < 1 {
+			w = 1
+		}
+		if w > 128 {
+			w = 128
+		}
+		edges[i].Len = 2 * w
+	}
+	g.finish(edges)
+	return g, nil
+}
+
+// finish builds the adjacency CSR and scratch prototypes.
+func (g *Graph) finish(edges []Edge) {
+	g.edges = edges
+	n := int(g.boundary) + 1
+	g.adjStart = make([]int32, n+1)
+	for _, e := range edges {
+		g.adjStart[e.U+1]++
+		g.adjStart[e.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.adjStart[i+1] += g.adjStart[i]
+	}
+	g.adj = make([]int32, g.adjStart[n])
+	fill := make([]int32, n)
+	copy(fill, g.adjStart[:n])
+	for ei, e := range edges {
+		g.adj[fill[e.U]] = int32(ei)
+		fill[e.U]++
+		g.adj[fill[e.V]] = int32(ei)
+		fill[e.V]++
+	}
+	g.protoParent = make([]int32, n)
+	for i := range g.protoParent {
+		g.protoParent[i] = int32(i)
+	}
+	g.maxGrow = 2
+	for _, e := range edges {
+		if e.Len > g.maxGrow {
+			g.maxGrow = e.Len
+		}
+	}
+	g.pool.New = func() any { return g.newScratch() }
+}
+
+// Stats summarizes the compiled graph for reports.
+func (g *Graph) Stats() string {
+	bnd := 0
+	for _, e := range g.edges {
+		if e.V == g.boundary {
+			bnd++
+		}
+	}
+	return fmt.Sprintf("%d detectors, %d edges (%d boundary), %d undetectable, %d undecomposed",
+		len(g.det.Dets), len(g.edges), bnd, g.undetectable, g.undecomposed)
+}

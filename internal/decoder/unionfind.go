@@ -1,0 +1,262 @@
+package decoder
+
+// Union-find decoding in the style of Delfosse & Nickerson: fired detectors
+// seed odd clusters, clusters grow along incident edges in half-edge units
+// until they merge even or absorb the boundary, and a spanning forest of the
+// grown edges is peeled leaf-first to read off the correction's observable
+// parity. Decoding is a pure function of the syndrome — no randomness — so
+// decoded estimates stay bit-identical for any worker count.
+
+// scratch is the per-worker decoder state: every slice is allocated once at
+// full size, so a decode performs zero heap allocations. Shots with an empty
+// syndrome (the common case at low physical error rates) return before
+// touching any of it.
+type scratch struct {
+	parent []int32 // cluster union-find (node-indexed)
+	parity []uint8 // root-indexed: defect-count parity of the cluster
+	bnd    []bool  // root-indexed: cluster absorbed the boundary
+	defect []bool  // node-indexed: detector fired (mutated during peeling)
+
+	growth []int32 // edge-indexed: accumulated growth
+	grown  []bool  // edge-indexed: fully grown
+
+	grownList []int32 // edges grown, in growth order
+	defects   []int32 // fired detector ids
+
+	// Peeling forest.
+	visited  []bool
+	treeUsed []bool
+	fparent  []int32 // node → tree-parent node (−1 for roots)
+	fedge    []int32 // node → edge to tree parent
+	order    []int32 // BFS order over forest nodes
+	inForest []bool
+	nodes    []int32 // nodes incident to grown edges
+}
+
+func (g *Graph) newScratch() *scratch {
+	n := int(g.boundary) + 1
+	e := len(g.edges)
+	return &scratch{
+		parent:    make([]int32, n),
+		parity:    make([]uint8, n),
+		bnd:       make([]bool, n),
+		defect:    make([]bool, n),
+		growth:    make([]int32, e),
+		grown:     make([]bool, e),
+		grownList: make([]int32, 0, e),
+		defects:   make([]int32, 0, n),
+		visited:   make([]bool, n),
+		treeUsed:  make([]bool, e),
+		fparent:   make([]int32, n),
+		fedge:     make([]int32, n),
+		order:     make([]int32, 0, n),
+		inForest:  make([]bool, n),
+		nodes:     make([]int32, 0, n),
+	}
+}
+
+func (sc *scratch) reset(g *Graph) {
+	copy(sc.parent, g.protoParent)
+	clear(sc.parity)
+	clear(sc.bnd)
+	clear(sc.defect)
+	clear(sc.growth)
+	clear(sc.grown)
+	clear(sc.visited)
+	clear(sc.treeUsed)
+	clear(sc.inForest)
+	sc.grownList = sc.grownList[:0]
+	sc.order = sc.order[:0]
+	sc.nodes = sc.nodes[:0]
+}
+
+func (sc *scratch) find(x int32) int32 {
+	for sc.parent[x] != x {
+		sc.parent[x] = sc.parent[sc.parent[x]] // path halving
+		x = sc.parent[x]
+	}
+	return x
+}
+
+// DecodeOutcome evaluates the shot's syndrome against the detector set,
+// union-find-decodes it and returns the corrected logical outcome. It
+// implements noise.Decoder and is safe for concurrent use (per-worker
+// scratch is pooled). With an empty syndrome the raw readout is returned
+// unchanged; if the decoder cannot neutralize every cluster (a structurally
+// disconnected graph, which compiled memory experiments never produce), it
+// also falls back to the raw readout.
+func (g *Graph) DecodeOutcome(records map[int32]bool) bool {
+	raw := g.det.RawOutcome(records)
+	if len(g.edges) == 0 {
+		return raw
+	}
+	sc := g.pool.Get().(*scratch)
+	defer g.pool.Put(sc)
+	sc.defects = sc.defects[:0]
+	for i := range g.det.Dets {
+		det := &g.det.Dets[i]
+		v := det.Ref
+		for _, id := range det.Recs {
+			if records[id] {
+				v = !v
+			}
+		}
+		if v {
+			sc.defects = append(sc.defects, int32(i))
+		}
+	}
+	if len(sc.defects) == 0 {
+		return raw
+	}
+	return raw != g.decode(sc)
+}
+
+// decode grows and peels the clusters of the syndrome in sc.defects,
+// returning the correction's observable parity.
+func (g *Graph) decode(sc *scratch) bool {
+	sc.reset(g)
+	odd := 0
+	for _, d := range sc.defects {
+		sc.defect[d] = true
+		sc.parity[d] = 1
+		odd++
+	}
+	sc.bnd[g.boundary] = true
+
+	// active reports whether the cluster rooted at r still drives growth.
+	active := func(r int32) bool { return sc.parity[r] == 1 && !sc.bnd[r] }
+
+	// Growth: each round, every edge incident to an active cluster grows by
+	// one half-edge unit per active side. The edge scan is O(E) per round,
+	// and rounds are bounded by the quantized edge lengths times the cluster
+	// diameter; both are small for the sparse syndromes that dominate.
+	maxRounds := int(g.maxGrow) * (int(g.boundary) + 1)
+	for round := 0; odd > 0; round++ {
+		if round > maxRounds {
+			return false // structurally stuck; caller falls back to raw
+		}
+		progressed := false
+		for ei := range g.edges {
+			if sc.grown[ei] {
+				continue
+			}
+			e := &g.edges[ei]
+			ru, rv := sc.find(e.U), sc.find(e.V)
+			inc := int32(0)
+			if active(ru) {
+				inc++
+			}
+			if rv != ru && active(rv) {
+				inc++
+			}
+			if inc == 0 {
+				continue
+			}
+			progressed = true
+			sc.growth[ei] += inc
+			if sc.growth[ei] < e.Len {
+				continue
+			}
+			sc.grown[ei] = true
+			sc.grownList = append(sc.grownList, int32(ei))
+			if ru == rv {
+				continue
+			}
+			before := 0
+			if active(ru) {
+				before++
+			}
+			if active(rv) {
+				before++
+			}
+			// Union by root id order (deterministic).
+			if ru > rv {
+				ru, rv = rv, ru
+			}
+			sc.parent[rv] = ru
+			sc.parity[ru] ^= sc.parity[rv]
+			if sc.bnd[rv] {
+				sc.bnd[ru] = true
+			}
+			after := 0
+			if active(ru) {
+				after++
+			}
+			odd += after - before
+		}
+		if !progressed {
+			return false
+		}
+	}
+	return g.peel(sc)
+}
+
+// peel builds a spanning forest of the grown edges (rooted at the boundary
+// where a cluster reached it) and peels it leaf-first: a node carrying odd
+// defect parity selects its parent edge into the correction and hands the
+// parity to its parent.
+func (g *Graph) peel(sc *scratch) bool {
+	for _, ei := range sc.grownList {
+		for _, v := range [2]int32{g.edges[ei].U, g.edges[ei].V} {
+			if !sc.inForest[v] {
+				sc.inForest[v] = true
+				sc.nodes = append(sc.nodes, v)
+			}
+		}
+	}
+	// BFS from the boundary first so that clusters touching it are rooted
+	// there (leftover parity is absorbed); remaining components root at
+	// their first-seen node.
+	bfs := func(root int32) {
+		if sc.visited[root] {
+			return
+		}
+		sc.visited[root] = true
+		sc.fparent[root] = -1
+		sc.fedge[root] = -1
+		start := len(sc.order)
+		sc.order = append(sc.order, root)
+		for i := start; i < len(sc.order); i++ {
+			v := sc.order[i]
+			for k := g.adjStart[v]; k < g.adjStart[v+1]; k++ {
+				ei := g.adj[k]
+				if !sc.grown[ei] || sc.treeUsed[ei] {
+					continue
+				}
+				e := &g.edges[ei]
+				w := e.U
+				if w == v {
+					w = e.V
+				}
+				if w == v || sc.visited[w] {
+					continue
+				}
+				sc.treeUsed[ei] = true
+				sc.visited[w] = true
+				sc.fparent[w] = v
+				sc.fedge[w] = int32(ei)
+				sc.order = append(sc.order, w)
+			}
+		}
+	}
+	if sc.inForest[g.boundary] {
+		bfs(g.boundary)
+	}
+	for _, v := range sc.nodes {
+		bfs(v)
+	}
+	obs := false
+	for i := len(sc.order) - 1; i >= 0; i-- {
+		v := sc.order[i]
+		if sc.fparent[v] < 0 || !sc.defect[v] {
+			continue
+		}
+		if g.edges[sc.fedge[v]].Obs {
+			obs = !obs
+		}
+		p := sc.fparent[v]
+		sc.defect[p] = !sc.defect[p]
+		sc.defect[v] = false
+	}
+	return obs
+}

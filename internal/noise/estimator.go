@@ -26,6 +26,21 @@ type Options struct {
 	TargetStdErr float64
 	// Batch is the early-stopping check granularity in shots (default 256).
 	Batch int
+	// Decoder, when non-nil, replaces the raw outcome-formula readout: each
+	// shot's logical outcome is the decoder's corrected value instead of the
+	// bare XOR of the transversal records. This is how an error-correcting
+	// decoder (internal/decoder's union-find matching) plugs into the
+	// estimator without this package importing it.
+	Decoder Decoder
+}
+
+// Decoder turns one noisy shot's measurement-record table into a corrected
+// logical outcome (syndrome decoding plus observable readout).
+// Implementations must be safe for concurrent use: EstimateLogicalError
+// calls DecodeOutcome from every shot worker, and the record map passed in
+// is only valid for the duration of the call.
+type Decoder interface {
+	DecodeOutcome(records map[int32]bool) bool
 }
 
 // Result reports a logical-error-rate estimate.
@@ -100,7 +115,17 @@ func wilsonStdErr(errors, shots int) float64 {
 // scheduling can change the result. The whole run — early stopping
 // included — uses one worker pool, so engines are allocated once.
 func EstimateLogicalError(s *Schedule, outcome expr.Expr, reference bool, opt Options) (Result, error) {
-	if outcome.HasVirtual() {
+	// judge reports whether one finished shot's logical outcome disagrees
+	// with the noiseless reference: via the decoder when one is configured,
+	// via the raw readout formula otherwise.
+	judge := func(e *orqcs.Engine) bool {
+		return outcome.Eval(e.Records()) != reference
+	}
+	if opt.Decoder != nil {
+		judge = func(e *orqcs.Engine) bool {
+			return opt.Decoder.DecodeOutcome(e.Records()) != reference
+		}
+	} else if outcome.HasVirtual() {
 		return Result{}, fmt.Errorf("noise: outcome formula references virtual records: %v", outcome)
 	}
 	shots := opt.Shots
@@ -112,7 +137,7 @@ func EstimateLogicalError(s *Schedule, outcome expr.Expr, reference bool, opt Op
 		var errCount atomic.Int64
 		err := orqcs.RunShotsRange(s.prog, 0, shots, opt.Seed, opt.Workers, s.RunShot,
 			func(i int, e *orqcs.Engine) error {
-				if outcome.Eval(e.Records()) != reference {
+				if judge(e) {
 					errCount.Add(1)
 				}
 				return nil
@@ -129,7 +154,7 @@ func EstimateLogicalError(s *Schedule, outcome expr.Expr, reference bool, opt Op
 	st := &stopFold{batch: batch, target: opt.TargetStdErr, pending: map[int]bool{}}
 	err := orqcs.RunShotsRange(s.prog, 0, shots, opt.Seed, opt.Workers, s.RunShot,
 		func(i int, e *orqcs.Engine) error {
-			return st.add(i, outcome.Eval(e.Records()) != reference)
+			return st.add(i, judge(e))
 		})
 	if err != nil && err != errStop {
 		return Result{}, err

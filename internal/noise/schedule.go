@@ -57,6 +57,19 @@ func (s *Schedule) Model() Model { return s.model }
 // NumFaultSites returns the number of potential error locations per shot.
 func (s *Schedule) NumFaultSites() int { return len(s.faults) }
 
+// NumSlots returns the number of fault slots: one per instruction plus the
+// trailing slot (NumInstrs + 1).
+func (s *Schedule) NumSlots() int { return len(s.start) - 1 }
+
+// SlotFaults returns the faults applied immediately before instruction slot
+// (slot NumInstrs holds trailing faults). The returned slice aliases the
+// schedule's backing storage and must be treated as read-only. The decoder
+// subsystem walks these to map each fault location to the detectors it
+// flips.
+func (s *Schedule) SlotFaults(slot int) []Fault {
+	return s.faults[s.start[slot]:s.start[slot+1]]
+}
+
 // Compile flattens a noise model against a lowered program. Idle-dephasing
 // probabilities are evaluated here, once, from the per-instruction schedule
 // gaps the lowering pass recorded, so the per-shot loop never touches the
@@ -166,6 +179,47 @@ var depol2Table = func() [15]depol2Pauli {
 	}
 	return t
 }()
+
+// NumBranches returns the number of distinct Pauli branches the fault can
+// fire into (1 for flips and dephasing, 3 for one-qubit depolarizing, 15 for
+// two-qubit depolarizing).
+func (f *Fault) NumBranches() int {
+	switch f.Kind {
+	case FaultDepol1:
+		return 3
+	case FaultDepol2:
+		return 15
+	}
+	return 1
+}
+
+// Branch returns branch b of the fault: its firing probability and the X/Z
+// bits of the Pauli applied to Q1 (and, for two-qubit faults, Q2). The
+// branch order matches applySlot's conditional-branch mapping (depol1:
+// X, Y, Z; depol2: depol2Table order), so a branch index is meaningful
+// against FiredFaults replays. The decoder subsystem enumerates branches to
+// compile a fault schedule into a detector error model.
+func (f *Fault) Branch(b int) (p float64, x1, z1, x2, z2 bool) {
+	switch f.Kind {
+	case FaultFlipX:
+		return f.P, true, false, false, false
+	case FaultDephase:
+		return f.P, false, true, false, false
+	case FaultDepol1:
+		switch b {
+		case 0:
+			return f.P / 3, true, false, false, false // X
+		case 1:
+			return f.P / 3, true, true, false, false // Y
+		default:
+			return f.P / 3, false, true, false, false // Z
+		}
+	case FaultDepol2:
+		pp := &depol2Table[b]
+		return f.P / 15, pp.x1, pp.z1, pp.x2, pp.z2
+	}
+	panic("noise: unknown fault kind")
+}
 
 // applySlot samples every fault of one slot, applying fired ones to the
 // tableau as Pauli frame updates. Exactly one uniform draw per fault

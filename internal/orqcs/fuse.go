@@ -1,0 +1,246 @@
+// Single-qubit rotation fusion: the compile-time peephole that rewrites
+// maximal runs of adjacent one-qubit Clifford rotations on the same qubit
+// into canonical minimal words. Hardware circuits are rotation-heavy —
+// every CNOT sandwich contributes H = Z_{π/2}·Y_{π/4} pairs whose
+// neighbours cancel — so fusing shortens both the instruction stream and
+// the per-shot simulation loop without changing any shot's outcome.
+package orqcs
+
+import "fmt"
+
+// signedPauli encodes ±X, ±Y or ±Z: p ∈ {0, 1, 2} for X, Y, Z.
+type signedPauli struct {
+	p   uint8
+	neg bool
+}
+
+func (s signedPauli) code() int {
+	c := int(s.p) * 2
+	if s.neg {
+		c++
+	}
+	return c
+}
+
+// cliff1 is a single-qubit Clifford element modulo global phase, represented
+// by its conjugation images of X and Z (24 valid values).
+type cliff1 struct {
+	x, z signedPauli
+}
+
+func (c cliff1) id() int { return c.x.code()*6 + c.z.code() }
+
+var cliffIdentity = cliff1{x: signedPauli{p: 0}, z: signedPauli{p: 2}}
+
+// image returns the element's conjugation image of a signed Pauli
+// (Y = iXZ, so its image is derived from the X and Z images).
+func (c cliff1) image(s signedPauli) signedPauli {
+	var out signedPauli
+	switch s.p {
+	case 0:
+		out = c.x
+	case 2:
+		out = c.z
+	default: // Y: i·C(X)·C(Z), with C(X) ⊥ C(Z)
+		a, b := c.x, c.z
+		// Distinct Paulis multiply to ±i times the third: cyclic order
+		// (X→Y→Z) carries +i.
+		third := 3 - a.p - b.p
+		cyclic := (a.p+1)%3 == b.p
+		out = signedPauli{p: third, neg: a.neg != b.neg}
+		if cyclic {
+			// i·(+i P) = −P
+			out.neg = !out.neg
+		}
+	}
+	if s.neg {
+		out.neg = !out.neg
+	}
+	return out
+}
+
+// compose returns g∘e: the element of "apply e's unitary first, then g's".
+func compose(g, e cliff1) cliff1 {
+	return cliff1{x: g.image(e.x), z: g.image(e.z)}
+}
+
+// fusable reports whether op is a one-qubit Clifford rotation (the opcode
+// set the peephole may rewrite).
+func fusable(op OpCode) bool {
+	switch op {
+	case OpX, OpSqrtX, OpSqrtXDg, OpY, OpSqrtY, OpSqrtYDg, OpZ, OpS, OpSdg:
+		return true
+	}
+	return false
+}
+
+// gateElem returns the conjugation element of a fusable opcode (the per-row
+// updates of package tableau, restricted to one Pauli).
+func gateElem(op OpCode) cliff1 {
+	sp := func(p uint8, neg bool) signedPauli { return signedPauli{p: p, neg: neg} }
+	switch op {
+	case OpX:
+		return cliff1{x: sp(0, false), z: sp(2, true)}
+	case OpY:
+		return cliff1{x: sp(0, true), z: sp(2, true)}
+	case OpZ:
+		return cliff1{x: sp(0, true), z: sp(2, false)}
+	case OpS:
+		return cliff1{x: sp(1, false), z: sp(2, false)}
+	case OpSdg:
+		return cliff1{x: sp(1, true), z: sp(2, false)}
+	case OpSqrtX:
+		return cliff1{x: sp(0, false), z: sp(1, false)}
+	case OpSqrtXDg:
+		return cliff1{x: sp(0, false), z: sp(1, true)}
+	case OpSqrtY:
+		return cliff1{x: sp(2, true), z: sp(0, false)}
+	case OpSqrtYDg:
+		return cliff1{x: sp(2, false), z: sp(0, true)}
+	}
+	panic(fmt.Sprintf("orqcs: opcode %d is not a fusable rotation", op))
+}
+
+// cliffWords maps each of the 24 single-qubit Clifford elements (by id) to a
+// shortest native-rotation word implementing it, computed once by BFS over
+// the nine rotation generators. Every element needs at most two rotations.
+var cliffWords = func() [36][]OpCode {
+	var words [36][]OpCode
+	found := [36]bool{}
+	gens := []OpCode{OpX, OpSqrtX, OpSqrtXDg, OpY, OpSqrtY, OpSqrtYDg, OpZ, OpS, OpSdg}
+	type entry struct {
+		e    cliff1
+		word []OpCode
+	}
+	queue := []entry{{e: cliffIdentity}}
+	found[cliffIdentity.id()] = true
+	words[cliffIdentity.id()] = nil
+	n := 1
+	for len(queue) > 0 && n < 24 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, g := range gens {
+			next := compose(gateElem(g), cur.e)
+			if found[next.id()] {
+				continue
+			}
+			found[next.id()] = true
+			w := append(append([]OpCode(nil), cur.word...), g)
+			words[next.id()] = w
+			queue = append(queue, entry{e: next, word: w})
+			n++
+		}
+	}
+	if n != 24 {
+		panic(fmt.Sprintf("orqcs: clifford word table reached %d of 24 elements", n))
+	}
+	return words
+}()
+
+// FuseRotations returns a copy of the program in which every maximal run of
+// adjacent one-qubit Clifford rotations on the same qubit (no intervening
+// instruction touching that qubit) is replaced by a canonical shortest word
+// for the run's net Clifford — at most two rotations, zero when the run is
+// the identity (e.g. the H·H pairs between consecutive syndrome CNOTs on a
+// shared data qubit). Runs never cross preparations, measurements, ZZ gates
+// or non-Clifford rotations.
+//
+// Shot outcomes are bit-identical to the original program's for every seed:
+// replaced words implement the same unitary up to global phase, rotations
+// draw no randomness, and the measurement sequence is untouched. Schedule
+// gaps of removed instructions are folded into the surviving instruction
+// (or the qubit's next instruction) so compiled noise models keep charging
+// the same idle time and transport; like Eliminate, a run fused away
+// entirely at the end of a qubit's history drops its trailing idle.
+func (p *Program) FuseRotations() *Program {
+	n := p.n
+	drop := make([]bool, len(p.instrs))
+	ops := make([]OpCode, len(p.instrs))
+	for i := range p.instrs {
+		ops[i] = p.instrs[i].Op
+	}
+	runStart := make([]int, n) // index of first member of the open run, -1 when closed
+	runElem := make([]cliff1, n)
+	runMembers := make([][]int, n)
+	for q := 0; q < n; q++ {
+		runStart[q] = -1
+	}
+	closeRun := func(q int32) {
+		if runStart[q] < 0 {
+			return
+		}
+		members := runMembers[q]
+		word := cliffWords[runElem[q].id()]
+		if len(word) < len(members) {
+			// Drop the prefix, rewrite the suffix slots with the word.
+			cut := len(members) - len(word)
+			for _, i := range members[:cut] {
+				drop[i] = true
+			}
+			for k, i := range members[cut:] {
+				ops[i] = word[k]
+			}
+		}
+		runStart[q] = -1
+		runMembers[q] = runMembers[q][:0]
+	}
+	for i := range p.instrs {
+		in := &p.instrs[i]
+		if fusable(in.Op) {
+			q := in.Q1
+			if runStart[q] < 0 {
+				runStart[q] = i
+				runElem[q] = cliffIdentity
+			}
+			runElem[q] = compose(gateElem(in.Op), runElem[q])
+			runMembers[q] = append(runMembers[q], i)
+			continue
+		}
+		closeRun(in.Q1)
+		if in.Op == OpZZ {
+			closeRun(in.Q2)
+		}
+	}
+	for q := 0; q < n; q++ {
+		closeRun(int32(q))
+	}
+
+	// Rebuild the stream, folding dropped instructions' schedule gaps into
+	// the qubit's next surviving instruction.
+	out := &Program{
+		n:       p.n,
+		finalAt: p.finalAt, // immutable, shared
+		numT:    p.numT,    // T gates close runs and are never rewritten
+	}
+	pendIdle := make([]int64, n)
+	pendMoves := make([]int32, n)
+	keptBefore := make([]int32, len(p.instrs)+1)
+	for i := range p.instrs {
+		keptBefore[i+1] = keptBefore[i]
+		in := p.instrs[i]
+		g := p.gaps[i]
+		if drop[i] {
+			// Dropped instructions are one-qubit rotations.
+			pendIdle[in.Q1] += g.Idle1
+			pendMoves[in.Q1] += g.Moves1
+			continue
+		}
+		keptBefore[i+1]++
+		in.Op = ops[i]
+		g.Idle1 += pendIdle[in.Q1]
+		g.Moves1 += pendMoves[in.Q1]
+		pendIdle[in.Q1], pendMoves[in.Q1] = 0, 0
+		if in.Op == OpZZ {
+			g.Idle2 += pendIdle[in.Q2]
+			g.Moves2 += pendMoves[in.Q2]
+			pendIdle[in.Q2], pendMoves[in.Q2] = 0, 0
+		}
+		out.instrs = append(out.instrs, in)
+		out.gaps = append(out.gaps, g)
+	}
+	out.folded = make([]FoldedPrep, len(p.folded))
+	for i, f := range p.folded {
+		out.folded[i] = FoldedPrep{Slot: keptBefore[f.Slot], Q: f.Q}
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"tiscc/internal/circuit"
+	"tiscc/internal/core"
 	"tiscc/internal/grid"
 	"tiscc/internal/hardware"
 	"tiscc/internal/pauli"
@@ -495,5 +496,146 @@ func TestCompileCountsMoves(t *testing.T) {
 	}
 	if mv := p.Gap(0).Moves1; mv < 1 {
 		t.Fatalf("measure gap records %d transport steps, want ≥ 1", mv)
+	}
+}
+
+// buildMemoryish compiles a small surface-code memory circuit (prep, two
+// rounds of syndrome extraction, transversal readout): the rotation-heavy
+// workload the fusion peephole targets.
+func buildMemoryish(t testing.TB) *circuit.Circuit {
+	t.Helper()
+	c := core.NewCompiler(5, 6, hardware.Default())
+	lq, err := c.NewLogicalQubit(3, 3, core.Cell{R: 1, C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lq.TransversalPrepareZ()
+	if _, err := lq.Idle(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lq.TransversalMeasure(pauli.Z); err != nil {
+		t.Fatal(err)
+	}
+	return c.Build()
+}
+
+// TestFuseRotationsIdenticalOutcomes checks the peephole's contract on a
+// real syndrome-extraction circuit: the fused program is strictly shorter
+// and every shot's record table is bit-identical to the original's.
+func TestFuseRotationsIdenticalOutcomes(t *testing.T) {
+	p, err := Compile(buildMemoryish(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.FuseRotations()
+	if f.NumInstrs() >= p.NumInstrs() {
+		t.Fatalf("fusion did not shorten the stream: %d → %d", p.NumInstrs(), f.NumInstrs())
+	}
+	if f.NumQubits() != p.NumQubits() || f.NumTGates() != p.NumTGates() {
+		t.Fatal("fusion changed qubit or T-gate counts")
+	}
+	e1, e2 := NewFromProgram(p), NewFromProgram(f)
+	for seed := int64(1); seed <= 6; seed++ {
+		e1.RunShot(seed)
+		e2.RunShot(seed)
+		r1, r2 := e1.Records(), e2.Records()
+		if len(r1) != len(r2) {
+			t.Fatalf("seed %d: record counts differ: %d vs %d", seed, len(r1), len(r2))
+		}
+		for id, v := range r1 {
+			if id < 0 {
+				continue // virtual reset records need not align
+			}
+			if got, ok := r2[id]; !ok || got != v {
+				t.Fatalf("seed %d: record %d = %v on original, %v (present %v) on fused", seed, id, v, got, ok)
+			}
+		}
+	}
+}
+
+// TestFuseRotationsCancelsPairs: H·H between two measurements collapses to
+// nothing.
+func TestFuseRotationsCancelsPairs(t *testing.T) {
+	g := grid.New(1, 1)
+	b := hardware.NewBuilder(g, hardware.Default())
+	ion := b.MustAddIon(grid.Site{R: 0, C: 2})
+	b.Prepare(ion)
+	b.Hadamard(ion)
+	b.Hadamard(ion)
+	b.Measure(ion)
+	p, err := Compile(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.FuseRotations()
+	// Prep is constant-folded; H·H cancels; only the measurement survives.
+	if f.NumInstrs() != 1 || f.Instructions()[0].Op != OpMeasureZ {
+		t.Fatalf("fused stream = %v, want a lone measurement", f.Instructions())
+	}
+	// The cancelled rotations' idle time must reappear on the measurement's
+	// gap so that compiled noise models keep charging the same dephasing.
+	var idleOrig, idleFused int64
+	for i := 0; i < p.NumInstrs(); i++ {
+		idleOrig += p.Gap(i).Idle1 + p.Gap(i).Idle2
+	}
+	for i := 0; i < f.NumInstrs(); i++ {
+		idleFused += f.Gap(i).Idle1 + f.Gap(i).Idle2
+	}
+	if idleFused != idleOrig {
+		t.Fatalf("idle time not conserved: %d → %d", idleOrig, idleFused)
+	}
+}
+
+// TestCliffordWordTable: every single-qubit Clifford element has a word of
+// at most two rotations whose composition reproduces the element.
+func TestCliffordWordTable(t *testing.T) {
+	count := 0
+	for id := 0; id < 36; id++ {
+		w := cliffWords[id]
+		if w == nil && id != cliffIdentity.id() {
+			continue
+		}
+		count++
+		if len(w) > 2 {
+			t.Fatalf("element %d has word of length %d", id, len(w))
+		}
+		e := cliffIdentity
+		for _, op := range w {
+			e = compose(gateElem(op), e)
+		}
+		if e.id() != id {
+			t.Fatalf("element %d: word %v composes to %d", id, w, e.id())
+		}
+	}
+	if count != 24 {
+		t.Fatalf("word table covers %d elements, want 24", count)
+	}
+}
+
+// TestFuseRotationsPreservesEstimates: a non-Clifford circuit (T injection)
+// keeps its T gates and its estimated expectations converge to the same
+// value after fusion.
+func TestFuseRotationsPreservesEstimates(t *testing.T) {
+	c, s := buildTPlus(t)
+	p, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.FuseRotations()
+	if f.NumTGates() != p.NumTGates() {
+		t.Fatalf("fusion changed T count: %d → %d", p.NumTGates(), f.NumTGates())
+	}
+	op := SitePauli{s: pauli.X}
+	m1, _, err := EstimateBatch(p, op, 4000, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := EstimateBatch(f, op, 4000, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / math.Sqrt2
+	if math.Abs(m1-want) > 0.1 || math.Abs(m2-want) > 0.1 {
+		t.Fatalf("estimates off ideal: original %v fused %v want %v", m1, m2, want)
 	}
 }

@@ -306,6 +306,15 @@ type Memory struct {
 	Distance  int
 	Rounds    int
 	Basis     pauli.Kind
+
+	// RoundRecords holds, per syndrome-extraction round, the plaquette →
+	// record-index table of that round. Together with DataRecords it is the
+	// raw material of detector extraction (internal/decoder): consecutive
+	// rounds of the same plaquette XOR into space-time detectors.
+	RoundRecords []*core.RoundResult
+	// DataRecords maps each data cell to the record index of its final
+	// transversal measurement.
+	DataRecords map[core.Cell]int32
 }
 
 // MemoryExperiment compiles a distance-d memory experiment: |0̄⟩ prepared
@@ -331,8 +340,9 @@ func MemoryExperiment(d, rounds int, basis pauli.Kind) (*Memory, error) {
 	} else {
 		lq.TransversalPrepareZ()
 	}
+	var roundRecs []*core.RoundResult
 	if rounds > 0 {
-		if _, err := lq.Idle(rounds); err != nil {
+		if roundRecs, err = lq.Idle(rounds); err != nil {
 			return nil, err
 		}
 	}
@@ -376,12 +386,14 @@ func MemoryExperiment(d, rounds int, basis pauli.Kind) (*Memory, error) {
 	eng := orqcs.NewFromProgram(prog)
 	eng.RunShot(1)
 	return &Memory{
-		Prog:      prog,
-		Outcome:   outcome,
-		Reference: outcome.Eval(eng.Records()),
-		Distance:  d,
-		Rounds:    rounds,
-		Basis:     basis,
+		Prog:         prog,
+		Outcome:      outcome,
+		Reference:    outcome.Eval(eng.Records()),
+		Distance:     d,
+		Rounds:       rounds,
+		Basis:        basis,
+		RoundRecords: roundRecs,
+		DataRecords:  recs,
 	}, nil
 }
 

@@ -33,10 +33,12 @@
 package tiscc
 
 import (
+	"io"
 	"math"
 
 	"tiscc/internal/circuit"
 	"tiscc/internal/core"
+	"tiscc/internal/decoder"
 	"tiscc/internal/expr"
 	"tiscc/internal/grid"
 	"tiscc/internal/hardware"
@@ -149,6 +151,19 @@ type (
 	// MemoryExperiment is a compiled logical-memory experiment with its
 	// decoded-outcome formula and noiseless reference.
 	MemoryExperiment = verify.Memory
+)
+
+// Decoder subsystem types (detector extraction, decoding graphs, union-find
+// syndrome decoding).
+type (
+	// Detectors is the detector/observable structure of a compiled memory
+	// experiment: space-time parity checks over measurement records plus the
+	// logical observable's record set.
+	Detectors = decoder.Detectors
+	// DecoderGraph is a noise model's decoding graph compiled against a
+	// memory experiment, with a pooled per-shot union-find decoder. It
+	// implements the estimator's Decoder interface.
+	DecoderGraph = decoder.Graph
 )
 
 // Canonical arrangements (paper Fig 2).
@@ -300,6 +315,62 @@ func EstimateLogicalErrorRate(d, rounds int, m NoiseModel, opt LogicalErrorOptio
 // entry point behind EstimateLogicalErrorRate, for custom experiments.
 func EstimateLogicalError(s *FaultSchedule, outcome Expr, reference bool, opt LogicalErrorOptions) (LogicalErrorResult, error) {
 	return noise.EstimateLogicalError(s, outcome, reference, opt)
+}
+
+// --- Syndrome decoding --------------------------------------------------------
+
+// ExtractDetectors walks a compiled memory experiment's record tables and
+// returns its detector/observable structure: per-plaquette XORs of
+// consecutive syndrome rounds, preparation and readout time boundaries, and
+// the logical observable's record set.
+func ExtractDetectors(mem *MemoryExperiment) (*Detectors, error) { return decoder.Extract(mem) }
+
+// CompileDecoder compiles a noise schedule against a memory experiment into
+// a union-find decoding graph: every fault branch is propagated through the
+// lowered instruction stream to the detectors it flips, and the resulting
+// weighted matching graph is cached for any number of concurrent shot
+// workers — compile it once per (program, model), like the fault schedule.
+func CompileDecoder(mem *MemoryExperiment, s *FaultSchedule) (*DecoderGraph, error) {
+	det, err := decoder.Extract(mem)
+	if err != nil {
+		return nil, err
+	}
+	return decoder.CompileGraph(det, s)
+}
+
+// EstimateDecodedLogicalErrorRate is EstimateLogicalErrorRate with syndrome
+// decoding: each noisy shot's detector history is union-find-decoded and the
+// corrected logical outcome is compared against the noiseless reference.
+// Decoded rates fall with code distance below threshold — the raw
+// transversal readout's grow with it — so sweeps over d become genuine
+// threshold plots. Deterministic in (d, rounds, model, options) for every
+// worker count.
+func EstimateDecodedLogicalErrorRate(d, rounds int, m NoiseModel, opt LogicalErrorOptions) (LogicalErrorResult, error) {
+	if err := m.Validate(); err != nil {
+		return LogicalErrorResult{}, err
+	}
+	mem, err := verify.MemoryExperiment(d, rounds, pauli.Z)
+	if err != nil {
+		return LogicalErrorResult{}, err
+	}
+	sched := noise.Compile(m, mem.Prog)
+	g, err := CompileDecoder(mem, sched)
+	if err != nil {
+		return LogicalErrorResult{}, err
+	}
+	opt.Decoder = g
+	return noise.EstimateLogicalError(sched, mem.Outcome, mem.Reference, opt)
+}
+
+// WriteDetectorErrorModel writes the Stim-compatible detector error model of
+// a noise schedule compiled against a memory experiment, so external
+// decoders (PyMatching et al.) can consume TISCC circuits directly.
+func WriteDetectorErrorModel(w io.Writer, mem *MemoryExperiment, s *FaultSchedule) error {
+	det, err := decoder.Extract(mem)
+	if err != nil {
+		return err
+	}
+	return decoder.WriteDEM(w, det, s)
 }
 
 // RunCircuit executes one simulation shot of a compiled circuit (a thin

@@ -1,6 +1,7 @@
 package tiscc_test
 
 import (
+	"strings"
 	"testing"
 
 	"tiscc"
@@ -245,5 +246,60 @@ func TestFacadeEstimateMany(t *testing.T) {
 		if m < -1.1 || m > 1.1 {
 			t.Fatalf("op %d mean %v out of range", j, m)
 		}
+	}
+}
+
+// TestFacadeDecodedEstimate exercises the decoder subsystem through the
+// public API: the decoded rate must undercut the raw readout rate, and the
+// long-form pipeline (CompileMemoryExperiment → CompileNoise →
+// CompileDecoder → EstimateLogicalError) must reproduce the one-liner
+// bit for bit.
+func TestFacadeDecodedEstimate(t *testing.T) {
+	opt := tiscc.LogicalErrorOptions{Shots: 800, Seed: 9}
+	m := tiscc.DepolarizingNoise(2e-3)
+	raw, err := tiscc.EstimateLogicalErrorRate(3, 3, m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := tiscc.EstimateDecodedLogicalErrorRate(3, 3, m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Rate >= raw.Rate {
+		t.Fatalf("decoded rate %v did not undercut raw rate %v", dec.Rate, raw.Rate)
+	}
+	mem, err := tiscc.CompileMemoryExperiment(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := tiscc.CompileNoise(m, mem.Prog)
+	g, err := tiscc.CompileDecoder(mem, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Decoder = g
+	manual, err := tiscc.EstimateLogicalError(sched, mem.Outcome, mem.Reference, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manual != dec {
+		t.Fatalf("long-form pipeline %+v differs from EstimateDecodedLogicalErrorRate %+v", manual, dec)
+	}
+}
+
+// TestFacadeWriteDEM smoke-tests the detector-error-model export.
+func TestFacadeWriteDEM(t *testing.T) {
+	mem, err := tiscc.CompileMemoryExperiment(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := tiscc.CompileNoise(tiscc.DepolarizingNoise(1e-3), mem.Prog)
+	var sb strings.Builder
+	if err := tiscc.WriteDetectorErrorModel(&sb, mem, sched); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "error(") || !strings.Contains(out, "logical_observable L0") {
+		t.Fatalf("DEM output missing required lines:\n%s", out)
 	}
 }
