@@ -581,6 +581,65 @@ func BenchmarkDecodedShot(b *testing.B) {
 	})
 }
 
+// BenchmarkDecodedSurgeryShot measures the per-shot overhead of union-find
+// decoding on a d=3 ZZ-merge/split cycle under the paper's Table 5 noise —
+// the surgery counterpart of BenchmarkDecodedShot, with detectors stitched
+// across the merge and split boundaries.
+func BenchmarkDecodedSurgeryShot(b *testing.B) {
+	s, err := verify.SurgeryExperiment(3, 1, 3, 1, pauli.Z)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := noise.Compile(noise.PaperTable5(hardware.Default()), s.Prog)
+	b.Run("noisy", func(b *testing.B) {
+		e := orqcs.NewFromProgram(s.Prog)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sched.RunShot(e, orqcs.ShotSeed(1, i))
+		}
+	})
+	b.Run("noisy+decode", func(b *testing.B) {
+		dets, err := decoder.ExtractSurgery(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := decoder.CompileGraph(dets, sched)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := orqcs.NewFromProgram(s.Prog)
+		errs := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sched.RunShot(e, orqcs.ShotSeed(1, i))
+			if g.DecodeOutcome(e.Records()) != s.Reference {
+				errs++
+			}
+		}
+		b.ReportMetric(float64(errs)/float64(b.N), "p_L")
+	})
+}
+
+// BenchmarkCompileSurgeryGraph measures the one-time region-aware detector
+// extraction plus decoding-graph compilation of a d=3 merge/split cycle.
+func BenchmarkCompileSurgeryGraph(b *testing.B) {
+	s, err := verify.SurgeryExperiment(3, 1, 3, 1, pauli.Z)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := noise.Compile(noise.PaperTable5(hardware.Default()), s.Prog)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dets, err := decoder.ExtractSurgery(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := decoder.CompileGraph(dets, sched); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCompileDecoderGraph measures the one-time detector-error-model
 // compilation that the decoded shot loop amortizes (frame propagation of
 // every fault branch plus graph construction).

@@ -9,6 +9,7 @@
 //
 //	orqcs -circuit file.tiscc [-seed 1] [-shots 1] [-workers 0] [-expect "Z@0.2,X@4.6"] [-noise p] [-fuse]
 //	orqcs -memory d[:rounds] [-noise p] [-decode] [-shots N] [-dem file.dem]
+//	orqcs -surgery d[:rounds] [-noise p] [-decode] [-shots N] [-dem file.dem]
 //
 // The circuit is compiled once into a lowered program; multi-shot estimates
 // then run on a deterministic parallel worker pool (results depend only on
@@ -22,6 +23,11 @@
 // -decode each shot's syndrome history is union-find decoded first, and
 // -dem writes the experiment's Stim-compatible detector error model so
 // external decoders (PyMatching et al.) can consume it.
+//
+// -surgery runs a distance-d two-patch ZZ-merge/split cycle instead: the
+// estimated quantity is the joint-parity error (final Z̄Z̄ readout against
+// the merge outcome), with detectors stitched across the merge and split
+// boundaries; rounds counts the merged-phase rounds (default d).
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 
 	"tiscc/internal/circuit"
 	"tiscc/internal/decoder"
+	"tiscc/internal/expr"
 	"tiscc/internal/grid"
 	"tiscc/internal/noise"
 	"tiscc/internal/orqcs"
@@ -52,16 +59,25 @@ func main() {
 		noiseP  = flag.Float64("noise", 0, "uniform depolarizing physical error rate (0 = noiseless)")
 		fuse    = flag.Bool("fuse", false, "fuse adjacent single-qubit Clifford rotations before simulating")
 		memory  = flag.String("memory", "", "run a memory experiment instead of a circuit file: d or d:rounds")
-		decode  = flag.Bool("decode", false, "with -memory -noise: union-find-decode each shot's syndrome history")
-		demFile = flag.String("dem", "", "with -memory: write the Stim-compatible detector error model to this file")
+		surgery = flag.String("surgery", "", "run a two-patch ZZ-merge/split cycle instead of a circuit file: d or d:rounds")
+		decode  = flag.Bool("decode", false, "with -memory/-surgery -noise: union-find-decode each shot's syndrome history")
+		demFile = flag.String("dem", "", "with -memory/-surgery: write the Stim-compatible detector error model to this file")
 	)
 	flag.Parse()
+	if *memory != "" && *surgery != "" {
+		fmt.Fprintln(os.Stderr, "orqcs: -memory and -surgery are mutually exclusive")
+		os.Exit(2)
+	}
 	if *memory != "" {
 		runMemory(*memory, *noiseP, *decode, *demFile, *shots, *seed, *workers, *fuse)
 		return
 	}
+	if *surgery != "" {
+		runSurgery(*surgery, *noiseP, *decode, *demFile, *shots, *seed, *workers, *fuse)
+		return
+	}
 	if *file == "" {
-		fmt.Fprintln(os.Stderr, "orqcs: -circuit or -memory is required")
+		fmt.Fprintln(os.Stderr, "orqcs: -circuit, -memory or -surgery is required")
 		os.Exit(2)
 	}
 	text, err := os.ReadFile(*file)
@@ -148,22 +164,37 @@ func main() {
 	}
 }
 
-// runMemory compiles a distance-d memory experiment and either writes its
-// detector error model, estimates its (optionally decoded) logical error
-// rate under depolarizing noise, or both.
-func runMemory(spec string, noiseP float64, decode bool, demFile string, shots int, seed int64, workers int, fuse bool) {
-	d, rounds := 0, 0
+// parseDSpec parses a d or d:rounds experiment spec (rounds defaults to d).
+func parseDSpec(flagName, spec string) (d, rounds int) {
 	parts := strings.SplitN(spec, ":", 2)
 	d, err := strconv.Atoi(strings.TrimSpace(parts[0]))
 	if err != nil {
-		fatal(fmt.Errorf("bad -memory %q: %w", spec, err))
+		fatal(fmt.Errorf("bad -%s %q: %w", flagName, spec, err))
 	}
 	rounds = d
 	if len(parts) == 2 {
 		if rounds, err = strconv.Atoi(strings.TrimSpace(parts[1])); err != nil {
-			fatal(fmt.Errorf("bad -memory %q: %w", spec, err))
+			fatal(fmt.Errorf("bad -%s %q: %w", flagName, spec, err))
 		}
 	}
+	return d, rounds
+}
+
+// experiment is what the shared -memory/-surgery estimation pipeline needs
+// from a compiled workload: the lowered program, the outcome formula judged
+// per shot, and the workload-specific detector extraction.
+type experiment struct {
+	prog      *orqcs.Program
+	outcome   expr.Expr
+	reference bool
+	extract   func() (*decoder.Detectors, error)
+	rawLabel  string
+}
+
+// runMemory compiles a distance-d memory experiment and hands it to the
+// shared estimation pipeline.
+func runMemory(spec string, noiseP float64, decode bool, demFile string, shots int, seed int64, workers int, fuse bool) {
+	d, rounds := parseDSpec("memory", spec)
 	mem, err := verify.MemoryExperiment(d, rounds, pauli.Z)
 	if err != nil {
 		fatal(err)
@@ -175,14 +206,51 @@ func runMemory(spec string, noiseP float64, decode bool, demFile string, shots i
 	}
 	fmt.Printf("memory experiment d=%d rounds=%d: %d qubits, %d instructions\n",
 		d, rounds, mem.Prog.NumQubits(), mem.Prog.NumInstrs())
+	runExperiment(experiment{
+		prog:      mem.Prog,
+		outcome:   mem.Outcome,
+		reference: mem.Reference,
+		extract:   func() (*decoder.Detectors, error) { return decoder.Extract(mem) },
+		rawLabel:  "raw readout",
+	}, noiseP, decode, demFile, shots, seed, workers)
+}
+
+// runSurgery compiles a distance-d two-patch ZZ-merge/split cycle and hands
+// it to the shared estimation pipeline; the estimated quantity is the joint
+// parity (final Z̄Z̄ readout against the merge outcome).
+func runSurgery(spec string, noiseP float64, decode bool, demFile string, shots int, seed int64, workers int, fuse bool) {
+	d, rounds := parseDSpec("surgery", spec)
+	s, err := verify.SurgeryExperiment(d, 1, rounds, 1, pauli.Z)
+	if err != nil {
+		fatal(err)
+	}
+	if fuse {
+		s.Prog = s.Prog.FuseRotations()
+	}
+	fmt.Printf("surgery experiment d=%d merged-rounds=%d: %d qubits, %d instructions\n",
+		d, rounds, s.Prog.NumQubits(), s.Prog.NumInstrs())
+	runExperiment(experiment{
+		prog:      s.Prog,
+		outcome:   s.Outcome,
+		reference: s.Reference,
+		extract:   func() (*decoder.Detectors, error) { return decoder.ExtractSurgery(s) },
+		rawLabel:  "raw joint-parity readout",
+	}, noiseP, decode, demFile, shots, seed, workers)
+}
+
+// runExperiment is the common tail of -memory and -surgery: write the
+// detector error model if requested, then estimate the (optionally
+// union-find-decoded) logical error rate under depolarizing noise.
+func runExperiment(e experiment, noiseP float64, decode bool, demFile string, shots int, seed int64, workers int) {
 	m := noise.Depolarizing(noiseP)
 	if err := m.Validate(); err != nil {
 		fatal(err)
 	}
-	sched := noise.Compile(m, mem.Prog)
+	sched := noise.Compile(m, e.prog)
 	var dets *decoder.Detectors
 	if demFile != "" || decode {
-		if dets, err = decoder.Extract(mem); err != nil {
+		var err error
+		if dets, err = e.extract(); err != nil {
 			fatal(err)
 		}
 	}
@@ -210,7 +278,7 @@ func runMemory(spec string, noiseP float64, decode bool, demFile string, shots i
 		return
 	}
 	opt := noise.Options{Shots: shots, Seed: seed, Workers: workers}
-	label := "raw readout"
+	label := e.rawLabel
 	if decode {
 		g, err := decoder.CompileGraph(dets, sched)
 		if err != nil {
@@ -219,7 +287,7 @@ func runMemory(spec string, noiseP float64, decode bool, demFile string, shots i
 		opt.Decoder = g
 		label = "union-find decoded"
 	}
-	res, err := noise.EstimateLogicalError(sched, mem.Outcome, mem.Reference, opt)
+	res, err := noise.EstimateLogicalError(sched, e.outcome, e.reference, opt)
 	if err != nil {
 		fatal(err)
 	}

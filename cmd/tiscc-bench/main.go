@@ -15,6 +15,7 @@
 //	tiscc-bench -simbench [-d 5] [-shots 200]
 //	tiscc-bench -noise [-dlist 3,5] [-plist 1e-4,...] [-rounds 0] [-shots N] [-model depolarizing|table5] [-seed 1]
 //	tiscc-bench -noise -decode ...  (adds union-find syndrome decoding: p-vs-p_L threshold sweeps)
+//	tiscc-bench -noise -surgery ... (sweeps two-patch ZZ-merge/split cycles instead of idle memory)
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"tiscc/internal/circuit"
 	"tiscc/internal/core"
 	"tiscc/internal/decoder"
+	"tiscc/internal/expr"
 	"tiscc/internal/hardware"
 	"tiscc/internal/instr"
 	"tiscc/internal/noise"
@@ -40,21 +42,22 @@ import (
 
 func main() {
 	var (
-		all    = flag.Bool("all", false, "regenerate everything")
-		table  = flag.Int("table", 0, "print one paper table (1, 2, 3 or 5)")
-		figure = flag.Int("figure", 0, "print one paper figure (1, 2, 3, 4 or 6)")
-		res    = flag.Bool("resources", false, "print per-instruction resource estimates")
-		ver    = flag.Bool("verify", false, "run the verification matrix")
-		sim    = flag.Bool("simbench", false, "benchmark compiled-program vs legacy per-shot simulation")
-		noisy  = flag.Bool("noise", false, "sweep physical vs logical error rates over memory experiments")
-		shots  = flag.Int("shots", 200, "Monte-Carlo shots for -simbench (and -noise, where the default is 1000)")
-		dlist  = flag.String("dlist", "3,5,7,9", "code distances for the resource sweep (-noise defaults to 3,5)")
-		d      = flag.Int("d", 3, "code distance for tables/figures")
-		plist  = flag.String("plist", "1e-4,3e-4,1e-3,3e-3,1e-2", "physical error rates for the -noise sweep")
-		rounds = flag.Int("rounds", 0, "error-correction rounds per memory experiment (0 = d)")
-		model  = flag.String("model", "depolarizing", "noise model for the sweep: depolarizing (swept over -plist) or table5")
-		seed   = flag.Int64("seed", 1, "base seed for the -noise sweep (output is deterministic per seed)")
-		decode = flag.Bool("decode", false, "with -noise: union-find-decode each shot's syndrome history (threshold sweeps)")
+		all     = flag.Bool("all", false, "regenerate everything")
+		table   = flag.Int("table", 0, "print one paper table (1, 2, 3 or 5)")
+		figure  = flag.Int("figure", 0, "print one paper figure (1, 2, 3, 4 or 6)")
+		res     = flag.Bool("resources", false, "print per-instruction resource estimates")
+		ver     = flag.Bool("verify", false, "run the verification matrix")
+		sim     = flag.Bool("simbench", false, "benchmark compiled-program vs legacy per-shot simulation")
+		noisy   = flag.Bool("noise", false, "sweep physical vs logical error rates over memory experiments")
+		shots   = flag.Int("shots", 200, "Monte-Carlo shots for -simbench (and -noise, where the default is 1000)")
+		dlist   = flag.String("dlist", "3,5,7,9", "code distances for the resource sweep (-noise defaults to 3,5)")
+		d       = flag.Int("d", 3, "code distance for tables/figures")
+		plist   = flag.String("plist", "1e-4,3e-4,1e-3,3e-3,1e-2", "physical error rates for the -noise sweep")
+		rounds  = flag.Int("rounds", 0, "error-correction rounds per experiment (0 = d); with -surgery the merged-phase round count (pre/post fixed at 1)")
+		model   = flag.String("model", "depolarizing", "noise model for the sweep: depolarizing (swept over -plist) or table5")
+		seed    = flag.Int64("seed", 1, "base seed for the -noise sweep (output is deterministic per seed)")
+		decode  = flag.Bool("decode", false, "with -noise (memory or -surgery sweeps): union-find-decode each shot's syndrome history")
+		surgery = flag.Bool("surgery", false, "with -noise: sweep two-patch ZZ-merge/split cycles (joint-parity error) instead of idle memory")
 	)
 	flag.Parse()
 	if *all {
@@ -101,7 +104,7 @@ func main() {
 				nshots = *shots
 			}
 		})
-		runNoiseSweep(ds, parseFloats(*plist), *rounds, nshots, *seed, *model, *decode)
+		runNoiseSweep(ds, parseFloats(*plist), *rounds, nshots, *seed, *model, *decode, *surgery)
 		did = true
 	}
 	if !did {
@@ -110,14 +113,17 @@ func main() {
 	}
 }
 
-// runNoiseSweep estimates logical error rates of memory experiments across
-// code distances and physical error rates: |0̄⟩ is prepared transversally,
-// idled for `rounds` cycles of syndrome extraction, transversally measured,
-// and each noisy shot's logical outcome — union-find-decoded from the
-// syndrome history when decode is set, raw transversal readout otherwise —
-// is compared against the noiseless reference. Output is deterministic for
-// a fixed seed, regardless of worker count or machine.
-func runNoiseSweep(ds []int, ps []float64, rounds, shots int, seed int64, model string, decode bool) {
+// runNoiseSweep estimates logical error rates across code distances and
+// physical error rates. The default workload is the memory experiment: |0̄⟩
+// prepared transversally, idled for `rounds` cycles of syndrome extraction
+// and transversally measured. With surgery set, the workload is the
+// two-patch ZZ-merge/split cycle and the estimated quantity its joint
+// parity (final Z̄Z̄ readout against the merge outcome). Each noisy shot's
+// outcome — union-find-decoded from the (region-stitched) syndrome history
+// when decode is set, raw readout otherwise — is compared against the
+// noiseless reference. Output is deterministic for a fixed seed, regardless
+// of worker count or machine.
+func runNoiseSweep(ds []int, ps []float64, rounds, shots int, seed int64, model string, decode, surgery bool) {
 	if model != "depolarizing" && model != "table5" {
 		fmt.Fprintf(os.Stderr, "noise sweep: unknown -model %q (want depolarizing or table5)\n", model)
 		os.Exit(2)
@@ -126,8 +132,12 @@ func runNoiseSweep(ds []int, ps []float64, rounds, shots int, seed int64, model 
 		fmt.Fprintln(os.Stderr, "noise sweep: -plist parsed to no error rates")
 		os.Exit(2)
 	}
-	fmt.Println("== Logical error rate vs physical error rate (memory experiments) ==")
-	mode := "raw transversal readout, no decoder"
+	workload := "memory experiments"
+	if surgery {
+		workload = "ZZ-merge/split cycles"
+	}
+	fmt.Printf("== Logical error rate vs physical error rate (%s) ==\n", workload)
+	mode := "raw readout, no decoder"
 	if decode {
 		mode = "union-find decoded syndrome history"
 	}
@@ -137,19 +147,35 @@ func runNoiseSweep(ds []int, ps []float64, rounds, shots int, seed int64, model 
 		if r <= 0 {
 			r = d
 		}
-		mem, err := verify.MemoryExperiment(d, r, pauli.Z)
+		var (
+			prog      *orqcs.Program
+			outcome   expr.Expr
+			reference bool
+			dets      *decoder.Detectors
+			err       error
+		)
+		if surgery {
+			var s *verify.Surgery
+			if s, err = verify.SurgeryExperiment(d, 1, r, 1, pauli.Z); err == nil {
+				prog, outcome, reference = s.Prog, s.Outcome, s.Reference
+				if decode {
+					dets, err = decoder.ExtractSurgery(s)
+				}
+			}
+		} else {
+			var mem *verify.Memory
+			if mem, err = verify.MemoryExperiment(d, r, pauli.Z); err == nil {
+				prog, outcome, reference = mem.Prog, mem.Outcome, mem.Reference
+				if decode {
+					dets, err = decoder.Extract(mem)
+				}
+			}
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "noise sweep:", err)
 			return
 		}
-		var dets *decoder.Detectors
-		if decode {
-			if dets, err = decoder.Extract(mem); err != nil {
-				fmt.Fprintln(os.Stderr, "noise sweep:", err)
-				return
-			}
-		}
-		fmt.Printf("\nd=%d (rounds=%d, %d qubits, %d instructions", d, r, mem.Prog.NumQubits(), mem.Prog.NumInstrs())
+		fmt.Printf("\nd=%d (rounds=%d, %d qubits, %d instructions", d, r, prog.NumQubits(), prog.NumInstrs())
 		if dets != nil {
 			fmt.Printf(", %d detectors", dets.NumDetectors())
 		}
@@ -169,7 +195,7 @@ func runNoiseSweep(ds []int, ps []float64, rounds, shots int, seed int64, model 
 				fmt.Fprintln(os.Stderr, "noise sweep:", err)
 				return
 			}
-			sched := noise.Compile(m, mem.Prog)
+			sched := noise.Compile(m, prog)
 			opt := noise.Options{Shots: shots, Seed: seed}
 			if decode {
 				g, err := decoder.CompileGraph(dets, sched)
@@ -179,7 +205,7 @@ func runNoiseSweep(ds []int, ps []float64, rounds, shots int, seed int64, model 
 				}
 				opt.Decoder = g
 			}
-			res, err := noise.EstimateLogicalError(sched, mem.Outcome, mem.Reference, opt)
+			res, err := noise.EstimateLogicalError(sched, outcome, reference, opt)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "noise sweep:", err)
 				return

@@ -1,0 +1,196 @@
+package decoder
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tiscc/internal/noise"
+	"tiscc/internal/pauli"
+)
+
+// demKey canonicalizes a mechanism's symptom for multiset comparison.
+func demKey(dets []int32, obs bool) string {
+	var sb strings.Builder
+	for _, d := range dets {
+		fmt.Fprintf(&sb, "D%d ", d)
+	}
+	if obs {
+		sb.WriteString("L0")
+	}
+	return sb.String()
+}
+
+// TestDEMRoundTrip is the export/parse property test: for memory and
+// surgery programs at d=3 and d=5, WriteDEM output re-parsed with ParseDEM
+// must reproduce — exactly — the detector count, the per-detector
+// coordinates, the observable declaration and the merged mechanism set that
+// an independent forEachMechanism aggregation yields, with every edge
+// weight (firing probability) surviving the text round trip.
+func TestDEMRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		det  func(t *testing.T) (*Detectors, *noise.Schedule)
+	}{
+		{"memory-d3", func(t *testing.T) (*Detectors, *noise.Schedule) {
+			mem := mustMemory(t, 3, 2, pauli.Z)
+			return mustDetectors(t, mem), noise.Compile(noise.Depolarizing(1e-3), mem.Prog)
+		}},
+		{"memory-d5", func(t *testing.T) (*Detectors, *noise.Schedule) {
+			mem := mustMemory(t, 5, 2, pauli.Z)
+			return mustDetectors(t, mem), noise.Compile(noise.Depolarizing(1e-3), mem.Prog)
+		}},
+		{"surgery-d3", func(t *testing.T) (*Detectors, *noise.Schedule) {
+			s := mustSurgery(t, 3, 1, 1, 1, pauli.Z)
+			return mustSurgeryDetectors(t, s), noise.Compile(noise.Depolarizing(1e-3), s.Prog)
+		}},
+		{"surgery-d5", func(t *testing.T) (*Detectors, *noise.Schedule) {
+			s := mustSurgery(t, 5, 1, 1, 1, pauli.Z)
+			return mustSurgeryDetectors(t, s), noise.Compile(noise.Depolarizing(1e-3), s.Prog)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			det, sched := tc.det(t)
+			var text strings.Builder
+			if err := WriteDEM(&text, det, sched); err != nil {
+				t.Fatal(err)
+			}
+			dem, err := ParseDEM(strings.NewReader(text.String()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dem.NumDetectors() != len(det.Dets) {
+				t.Fatalf("%d detector declarations, want %d", dem.NumDetectors(), len(det.Dets))
+			}
+			if dem.Observables != 1 {
+				t.Fatalf("%d observable declarations, want 1", dem.Observables)
+			}
+			for i := range det.Dets {
+				want := [4]int{det.Dets[i].Face.I, det.Dets[i].Face.J, det.Dets[i].Round, 0}
+				if det.Dets[i].Type != det.Basis() {
+					want[3] = 1
+				}
+				got, ok := dem.Coords[int32(i)]
+				if !ok {
+					t.Fatalf("detector D%d not declared", i)
+				}
+				if got != want {
+					t.Fatalf("D%d coordinates %v, want %v", i, got, want)
+				}
+			}
+			// Independent aggregation with the exact merge rule of WriteDEM.
+			wantP := map[string]float64{}
+			err = forEachMechanism(det, sched, func(m mechanism) error {
+				k := demKey(m.dets, m.obs)
+				if p, ok := wantP[k]; ok {
+					wantP[k] = mergeP(p, m.p)
+				} else {
+					wantP[k] = m.p
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(dem.Mechanisms) != len(wantP) {
+				t.Fatalf("%d parsed mechanisms, want %d", len(dem.Mechanisms), len(wantP))
+			}
+			for _, m := range dem.Mechanisms {
+				if m.P <= 0 || m.P >= 1 {
+					t.Fatalf("mechanism %v has out-of-range probability %g", m.Dets, m.P)
+				}
+				for i, di := range m.Dets {
+					if di < 0 || int(di) >= len(det.Dets) {
+						t.Fatalf("mechanism references unknown detector D%d", di)
+					}
+					if i > 0 && m.Dets[i-1] >= di {
+						t.Fatalf("mechanism targets not strictly sorted: %v", m.Dets)
+					}
+				}
+				want, ok := wantP[demKey(m.Dets, m.Obs)]
+				if !ok {
+					t.Fatalf("parsed mechanism %v (obs %v) not produced by enumeration", m.Dets, m.Obs)
+				}
+				// %g printing is shortest-exact for float64: the weight must
+				// round-trip bit-for-bit.
+				if m.P != want {
+					t.Fatalf("mechanism %v probability %v, want %v", m.Dets, m.P, want)
+				}
+				delete(wantP, demKey(m.Dets, m.Obs))
+			}
+			if len(wantP) != 0 {
+				t.Fatalf("%d enumerated mechanisms missing from the export", len(wantP))
+			}
+		})
+	}
+}
+
+// TestParseDEMRejectsMalformed covers the parser's error paths.
+func TestParseDEMRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"error(0.1 D0",
+		"error(zzz) D0",
+		"error(-0.3) D0",
+		"error(1.5) D0",
+		"error(NaN) D0",
+		"error(0.1) Q3",
+		"error(0.1) Dx",
+		"detector(1, 2, 3) D0",
+		"detector(1, 2, 3, a) D0",
+		"detector(1, 2, 3, 4)",
+		"detector(1, 2, 3, 4) D0\ndetector(0, 0, 0, 0) D0",
+		"detector(1, 2, 3, 4) D-1",
+		"error(0.1) D-2",
+		"error(0.1) D0 D0",
+		"logical_observableXYZ",
+		"logical_observable L0 L1",
+		"logical_observable Lx",
+		"wibble",
+	}
+	for _, text := range bad {
+		if _, err := ParseDEM(strings.NewReader(text)); err == nil {
+			t.Fatalf("ParseDEM accepted %q", text)
+		}
+	}
+}
+
+// FuzzParseDEM asserts the parser never panics on arbitrary input and that
+// every accepted input re-serializes to a model it accepts again with
+// identical mechanisms (parse → print → parse is the identity).
+func FuzzParseDEM(f *testing.F) {
+	f.Add("# comment\nerror(1.3e-05) D0 D4 L0\ndetector(0, -1, 2, 0) D7\nlogical_observable L0\n")
+	f.Add("error(0.5) D1\n")
+	f.Add("detector(1, 2, 3, 1) D0\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		dem, err := ParseDEM(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		for _, m := range dem.Mechanisms {
+			fmt.Fprintf(&sb, "error(%g)", m.P)
+			for _, di := range m.Dets {
+				fmt.Fprintf(&sb, " D%d", di)
+			}
+			if m.Obs {
+				sb.WriteString(" L0")
+			}
+			sb.WriteString("\n")
+		}
+		again, err := ParseDEM(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-parse of printed model failed: %v", err)
+		}
+		if len(again.Mechanisms) != len(dem.Mechanisms) {
+			t.Fatalf("mechanism count changed across print/parse: %d vs %d",
+				len(again.Mechanisms), len(dem.Mechanisms))
+		}
+		for i, m := range dem.Mechanisms {
+			g := again.Mechanisms[i]
+			if g.P != m.P || g.Obs != m.Obs || !equalIDs(g.Dets, m.Dets) {
+				t.Fatalf("mechanism %d changed across print/parse: %+v vs %+v", i, g, m)
+			}
+		}
+	})
+}

@@ -5,11 +5,12 @@
 // Three layers mirror the standard detector-error-model pipeline of
 // stabilizer samplers (Stim/PyMatching):
 //
-//   - detector extraction (Extract): the record tables of a compiled memory
-//     experiment — per-round plaquette records plus the final transversal
-//     data readout — are folded into detectors, parity checks over records
-//     whose noiseless value is deterministic, plus the logical observable's
-//     record set;
+//   - detector extraction (Extract for memory experiments, ExtractSurgery
+//     for lattice-surgery merge/split cycles): record tables — per-round
+//     plaquette records, the final transversal data readout, and for
+//     surgery the per-region histories plus seam records — are folded into
+//     detectors, parity checks over records whose noiseless value is
+//     deterministic, plus the logical observable's record set;
 //   - decoding-graph construction (CompileGraph): every fault location of a
 //     compiled noise Schedule is propagated, branch by branch, through the
 //     lowered instruction stream as a Pauli frame; the detectors each branch
@@ -23,6 +24,7 @@
 package decoder
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -31,6 +33,12 @@ import (
 	"tiscc/internal/pauli"
 	"tiscc/internal/verify"
 )
+
+// ErrRoundMismatch reports an experiment whose record tables disagree with
+// its round-count header (a truncated or hand-modified experiment). Both
+// Extract and ExtractSurgery wrap it, so callers can errors.Is against it
+// instead of string-matching.
+var ErrRoundMismatch = errors.New("record tables mismatch the experiment's round counts")
 
 // Detector is one parity check over measurement records whose value on a
 // noiseless run is deterministic (Ref). A noisy shot fires the detector when
@@ -44,13 +52,16 @@ type Detector struct {
 	// r−1 and r (with round −1 the deterministic preparation layer folded
 	// into round 0), and Round == rounds marks the final comparison against
 	// the plaquette parity reconstructed from the transversal data readout.
+	// For surgery experiments rounds are counted globally across the
+	// pre-merge, merged and post-split phases, so Round == Pre marks the
+	// merge boundary and Round == Pre+Merge the split boundary.
 	Round int
 }
 
-// Detectors is the detector/observable structure of one compiled memory
-// experiment: the full set of space-time parity checks plus the logical
-// observable's record set. It is immutable after Extract and may be shared
-// by any number of graphs and workers.
+// Detectors is the detector/observable structure of one compiled experiment
+// (memory or lattice surgery): the full set of space-time parity checks
+// plus the logical observable's record set. It is immutable after
+// extraction and may be shared by any number of graphs and workers.
 type Detectors struct {
 	Dets []Detector
 	// Obs is the record support of the logical observable; ObsConst is the
@@ -111,8 +122,8 @@ func Extract(mem *verify.Memory) (*Detectors, error) {
 		return nil, fmt.Errorf("decoder: outcome formula references virtual records")
 	}
 	if len(mem.RoundRecords) != mem.Rounds {
-		return nil, fmt.Errorf("decoder: memory experiment records %d rounds, header says %d",
-			len(mem.RoundRecords), mem.Rounds)
+		return nil, fmt.Errorf("decoder: memory experiment records %d rounds, header says %d: %w",
+			len(mem.RoundRecords), mem.Rounds, ErrRoundMismatch)
 	}
 	d := &Detectors{
 		Obs:      append([]int32(nil), mem.Outcome.IDs...),
@@ -130,7 +141,7 @@ func Extract(mem *verify.Memory) (*Detectors, error) {
 		for r, rr := range mem.RoundRecords {
 			rec, ok := rr.Records[p.Face]
 			if !ok {
-				return nil, fmt.Errorf("decoder: plaquette %v missing from round %d", p.Face, r)
+				return nil, fmt.Errorf("decoder: plaquette %v missing from round %d: %w", p.Face, r, ErrRoundMismatch)
 			}
 			chain[r] = rec
 		}

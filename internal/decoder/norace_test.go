@@ -1,0 +1,7 @@
+//go:build !race
+
+package decoder
+
+// raceEnabled is false without the race detector: Monte-Carlo-heavy tests
+// run at full shot counts.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package decoder
+
+// raceEnabled scales the Monte-Carlo-heavy tests down under the race
+// detector (which multiplies the shot loop's cost ~15×), keeping the race
+// job well inside the go test timeout; the full-shot runs stay in the
+// regular job.
+const raceEnabled = true

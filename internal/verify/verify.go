@@ -397,6 +397,212 @@ func MemoryExperiment(d, rounds int, basis pauli.Kind) (*Memory, error) {
 	}, nil
 }
 
+// Surgery is a compiled two-patch lattice-surgery experiment: two
+// distance-d patches prepared transversally in the same logical basis,
+// idled for Pre rounds each, merged for Merge rounds (measuring the joint
+// X̄X̄ or Z̄Z̄ operator of paper Sec 2.3), split, idled for Post rounds and
+// transversally measured in the preparation basis. It is the decodable
+// surgery workload behind Table 3 resource estimates: Outcome is the
+// joint-parity observable — the final B̄aB̄b readout folded with the merge
+// outcome and every accumulated frame correction — whose noiseless value is
+// deterministic even when the merge outcome itself is random, so noisy
+// shots can be judged against Reference exactly like memory experiments.
+//
+// The per-region record tables (pre-merge per patch, merged, post-split per
+// patch, plus the seam and final transversal readouts) are the raw material
+// of region-aware detector extraction (internal/decoder.ExtractSurgery):
+// stabilizer histories survive the merge (boundary plaquettes grow by
+// absorbing freshly prepared seam qubits), new seam-crossing plaquettes of
+// the measured type carry the joint outcome, and the split retires seam
+// stabilizers against the transversal seam measurement.
+type Surgery struct {
+	Prog      *orqcs.Program
+	Outcome   expr.Expr // joint parity: final B̄aB̄b readout ⊕ merge outcome
+	Reference bool      // the outcome's value on a noiseless run
+	Distance  int
+	Pre       int        // syndrome rounds per patch before the merge
+	Merge     int        // rounds of the merged patch
+	Post      int        // syndrome rounds per patch after the split
+	Basis     pauli.Kind // preparation/readout basis; the joint operator's type
+	SeamBasis pauli.Kind // basis the seam qubits are prepared and measured in
+	Vertical  bool       // vertical merge (X̄X̄) vs horizontal (Z̄Z̄)
+
+	// Region record tables, in execution order.
+	PreA, PreB   []*core.RoundResult // pre-merge rounds of each patch
+	MergedRounds []*core.RoundResult // rounds of the merged patch
+	PostA, PostB []*core.RoundResult // post-split rounds of each patch
+	// SeamRecords maps each seam cell to its transversal split measurement.
+	SeamRecords map[core.Cell]int32
+	// DataRecords maps each data cell of both patches to its final
+	// transversal measurement.
+	DataRecords map[core.Cell]int32
+	// OriginA and OriginB anchor the patches' (patch-relative) plaquette
+	// faces in absolute grid coordinates; the merged patch shares OriginA.
+	OriginA, OriginB core.Cell
+	// MergeOutcome is the joint logical measurement's record formula.
+	MergeOutcome expr.Expr
+}
+
+// SurgeryExperiment compiles a distance-d two-patch merge/split cycle in
+// the given basis: basis Z prepares |0̄0̄⟩ and merges horizontally
+// (measuring Z̄Z̄), basis X prepares |+̄+̄⟩ and merges vertically (measuring
+// X̄X̄). In both cases the merged joint operator matches the preparation, so
+// the joint-parity outcome — final joint readout XOR merge outcome — is
+// deterministic and the experiment is a decodable logical-error workload.
+func SurgeryExperiment(d, pre, merge, post int, basis pauli.Kind) (*Surgery, error) {
+	if basis != pauli.Z && basis != pauli.X {
+		return nil, fmt.Errorf("verify: surgery basis must be X or Z")
+	}
+	if pre < 0 || merge < 1 || post < 1 {
+		return nil, fmt.Errorf("verify: surgery needs pre ≥ 0, merge ≥ 1 and post ≥ 1 rounds")
+	}
+	gap := 1
+	if d%2 == 0 {
+		gap = 2
+	}
+	// Vertical merges measure X̄X̄, horizontal ones Z̄Z̄ (paper Sec 2.3);
+	// matching the merge direction to the preparation basis keeps the joint
+	// outcome deterministic.
+	vertical := basis == pauli.X
+	var c *core.Compiler
+	var a, b *core.LogicalQubit
+	var err error
+	if vertical {
+		c = core.NewCompiler(2*(d+gap)+2, d+4, hardware.Default())
+		a, err = c.NewLogicalQubit(d, d, core.Cell{R: 1, C: 1})
+		if err == nil {
+			b, err = c.NewLogicalQubit(d, d, core.Cell{R: 1 + d + gap, C: 1})
+		}
+	} else {
+		c = core.NewCompiler(d+2, 2*(d+gap)+4, hardware.Default())
+		a, err = c.NewLogicalQubit(d, d, core.Cell{R: 1, C: 1})
+		if err == nil {
+			b, err = c.NewLogicalQubit(d, d, core.Cell{R: 1, C: 1 + d + gap})
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	kind := core.LogicalZ
+	if basis == pauli.X {
+		kind = core.LogicalX
+	}
+	for _, lq := range []*core.LogicalQubit{a, b} {
+		if basis == pauli.X {
+			lq.TransversalPrepareX()
+		} else {
+			lq.TransversalPrepareZ()
+		}
+	}
+	s := &Surgery{
+		Distance: d, Pre: pre, Merge: merge, Post: post,
+		Basis: basis, SeamBasis: pauli.X, Vertical: vertical,
+		OriginA: a.Origin, OriginB: b.Origin,
+	}
+	if vertical {
+		s.SeamBasis = pauli.Z
+	}
+	for r := 0; r < pre; r++ {
+		ra, err := a.Idle(1)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := b.Idle(1)
+		if err != nil {
+			return nil, err
+		}
+		s.PreA = append(s.PreA, ra[0])
+		s.PreB = append(s.PreB, rb[0])
+	}
+	m, err := core.Merge(a, b, merge)
+	if err != nil {
+		return nil, err
+	}
+	s.MergedRounds = m.Rounds
+	s.MergeOutcome = m.Outcome
+	sp, err := m.Split()
+	if err != nil {
+		return nil, err
+	}
+	s.SeamRecords = sp.SeamRecords
+	for r := 0; r < post; r++ {
+		ra, err := a.Idle(1)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := b.Idle(1)
+		if err != nil {
+			return nil, err
+		}
+		s.PostA = append(s.PostA, ra[0])
+		s.PostB = append(s.PostB, rb[0])
+	}
+	// The joint operator's post-surgery readout recipe: geometric product
+	// representative plus the frame corrections the surgery accumulated (the
+	// "moving observable" — the tracker rewrites each patch's logical form
+	// whenever a seam preparation or measurement anticommutes with it).
+	lv, err := c.JointLogicalValue([]core.LogicalTerm{{LQ: a, Kind: kind}, {LQ: b, Kind: kind}})
+	if err != nil {
+		return nil, fmt.Errorf("verify: joint %v%v after split: %w", kind, kind, err)
+	}
+	recsA, err := a.TransversalMeasure(basis)
+	if err != nil {
+		return nil, err
+	}
+	recsB, err := b.TransversalMeasure(basis)
+	if err != nil {
+		return nil, err
+	}
+	s.DataRecords = make(map[core.Cell]int32, len(recsA)+len(recsB))
+	for cell, rec := range recsA {
+		s.DataRecords[cell] = rec
+	}
+	for cell, rec := range recsB {
+		s.DataRecords[cell] = rec
+	}
+	// Joint parity: raw readout of the joint representative (Sec 4.5), its
+	// sign corrections, XOR the merge outcome. Folding the merge outcome in
+	// is what keeps the observable deterministic for random merge branches.
+	outcome := lv.Sign.Xor(m.Outcome)
+	if lv.Rep.Sign() < 0 {
+		outcome = outcome.XorConst(true)
+	}
+	covered := 0
+	for cell, rec := range s.DataRecords {
+		if lv.Rep.Kind(c.Qubit(cell)) != pauli.I {
+			outcome = outcome.Xor(expr.FromID(rec))
+			covered++
+		}
+	}
+	if covered != lv.Rep.Weight() {
+		return nil, fmt.Errorf("verify: joint %v%v support not fully measured (%d of %d sites)",
+			kind, kind, covered, lv.Rep.Weight())
+	}
+	if outcome.HasVirtual() {
+		return nil, fmt.Errorf("verify: outcome formula references virtual records: %v", outcome)
+	}
+	s.Outcome = outcome
+	prog, err := orqcs.Compile(c.Build())
+	if err != nil {
+		return nil, err
+	}
+	s.Prog = prog
+	// Two differently-seeded noiseless runs: the merge outcome may differ,
+	// the joint parity must not.
+	eng := orqcs.NewFromProgram(prog)
+	eng.RunShot(1)
+	s.Reference = outcome.Eval(eng.Records())
+	eng.RunShot(4)
+	if outcome.Eval(eng.Records()) != s.Reference {
+		return nil, fmt.Errorf("verify: surgery joint parity is not deterministic")
+	}
+	return s, nil
+}
+
+// Rounds returns the experiment's total syndrome-round count across all
+// three phases.
+func (s *Surgery) Rounds() int { return s.Pre + s.Merge + s.Post }
+
 // Quiescence verifies that repeated rounds of error correction leave every
 // plaquette outcome unchanged after the first round (paper Sec 4.3,
 // exercised there up to d = 30).

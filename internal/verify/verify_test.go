@@ -226,3 +226,86 @@ func TestMemoryExperiment(t *testing.T) {
 		t.Fatal("expected error for Y-basis memory")
 	}
 }
+
+// TestSurgeryExperiment checks the compiled two-patch merge/split workload
+// in both bases: the joint-parity outcome must be seed-independent on
+// noiseless runs (the merge outcome folds out), the per-region record
+// tables must match the declared round structure, the seam and data
+// readouts must be complete, and bad geometry must be rejected.
+func TestSurgeryExperiment(t *testing.T) {
+	for _, basis := range []pauli.Kind{pauli.Z, pauli.X} {
+		const d, pre, merge, post = 3, 1, 2, 1
+		s, err := SurgeryExperiment(d, pre, merge, post, basis)
+		if err != nil {
+			t.Fatalf("basis %v: %v", basis, err)
+		}
+		if s.Prog.NumInstrs() == 0 || len(s.Outcome.IDs) < 2*d {
+			t.Fatalf("basis %v: degenerate experiment (instrs=%d, outcome=%v)",
+				basis, s.Prog.NumInstrs(), s.Outcome)
+		}
+		if (basis == pauli.X) != s.Vertical {
+			t.Fatalf("basis %v: vertical=%v (X̄X̄ merges are vertical, Z̄Z̄ horizontal)", basis, s.Vertical)
+		}
+		if s.SeamBasis == s.Basis {
+			t.Fatalf("basis %v: seam prepared in the joint basis %v", basis, s.SeamBasis)
+		}
+		if len(s.PreA) != pre || len(s.PreB) != pre || len(s.MergedRounds) != merge ||
+			len(s.PostA) != post || len(s.PostB) != post {
+			t.Fatalf("basis %v: region round counts %d/%d/%d/%d/%d, want %d/%d/%d",
+				basis, len(s.PreA), len(s.PreB), len(s.MergedRounds), len(s.PostA), len(s.PostB),
+				pre, merge, post)
+		}
+		if s.Rounds() != pre+merge+post {
+			t.Fatalf("basis %v: Rounds() = %d, want %d", basis, s.Rounds(), pre+merge+post)
+		}
+		// Both patches read out entirely; the seam covers the gap strip.
+		if len(s.DataRecords) != 2*d*d {
+			t.Fatalf("basis %v: %d data records, want %d", basis, len(s.DataRecords), 2*d*d)
+		}
+		if len(s.SeamRecords) != d {
+			t.Fatalf("basis %v: %d seam records, want %d", basis, len(s.SeamRecords), d)
+		}
+		// The merged patch hosts more plaquettes than the two halves did.
+		if got, pre2 := len(s.MergedRounds[0].Plaqs), len(s.PreA[0].Plaqs)+len(s.PreB[0].Plaqs); got <= pre2 {
+			t.Fatalf("basis %v: merged round has %d plaquettes, pre-merge total %d", basis, got, pre2)
+		}
+		for _, seed := range []int64{2, 3, 99} {
+			e := orqcs.NewFromProgram(s.Prog)
+			e.RunShot(seed)
+			if got := s.Outcome.Eval(e.Records()); got != s.Reference {
+				t.Fatalf("basis %v seed %d: noiseless joint parity %v, reference %v",
+					basis, seed, got, s.Reference)
+			}
+		}
+	}
+	if _, err := SurgeryExperiment(3, 1, 1, 1, pauli.Y); err == nil {
+		t.Fatal("expected error for Y-basis surgery")
+	}
+	if _, err := SurgeryExperiment(3, 1, 0, 1, pauli.Z); err == nil {
+		t.Fatal("expected error for zero merged rounds")
+	}
+	if _, err := SurgeryExperiment(3, -1, 1, 1, pauli.Z); err == nil {
+		t.Fatal("expected error for negative pre rounds")
+	}
+	if _, err := SurgeryExperiment(3, 1, 1, 0, pauli.Z); err == nil {
+		t.Fatal("expected error for zero post rounds")
+	}
+}
+
+// TestSurgeryExperimentEvenDistance exercises the gap-2 seam (even
+// distances need a two-column strip to preserve checkerboard parity),
+// which produces plaquettes wholly inside the seam.
+func TestSurgeryExperimentEvenDistance(t *testing.T) {
+	s, err := SurgeryExperiment(4, 1, 1, 1, pauli.Z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.SeamRecords) != 2*4 {
+		t.Fatalf("%d seam records, want %d", len(s.SeamRecords), 2*4)
+	}
+	e := orqcs.NewFromProgram(s.Prog)
+	e.RunShot(12)
+	if got := s.Outcome.Eval(e.Records()); got != s.Reference {
+		t.Fatalf("noiseless joint parity %v, reference %v", got, s.Reference)
+	}
+}

@@ -151,6 +151,10 @@ type (
 	// MemoryExperiment is a compiled logical-memory experiment with its
 	// decoded-outcome formula and noiseless reference.
 	MemoryExperiment = verify.Memory
+	// SurgeryExperiment is a compiled two-patch lattice-surgery merge/split
+	// cycle with per-region record tables and the joint-parity observable
+	// (final joint readout folded with the merge outcome).
+	SurgeryExperiment = verify.Surgery
 )
 
 // Decoder subsystem types (detector extraction, decoding graphs, union-find
@@ -371,6 +375,83 @@ func WriteDetectorErrorModel(w io.Writer, mem *MemoryExperiment, s *FaultSchedul
 		return err
 	}
 	return decoder.WriteDEM(w, det, s)
+}
+
+// --- Lattice-surgery decoding --------------------------------------------------
+
+// CompileSurgeryExperiment compiles a distance-d two-patch ZZ-merge/split
+// cycle: |0̄0̄⟩ prepared transversally, one pre-merge round per patch,
+// `rounds` rounds of the horizontally merged patch measuring Z̄Z̄ (0 selects
+// d), a split, one post-split round per patch, and transversal Z readout of
+// both patches. Its Outcome is the joint-parity observable — the final
+// Z̄aZ̄b readout folded with the merge outcome — whose noiseless value is
+// deterministic, making the surgery cycle a decodable logical-error
+// workload. Use verify.SurgeryExperiment directly for the X-basis (vertical
+// X̄X̄) variant or custom round structures.
+func CompileSurgeryExperiment(d, rounds int) (*SurgeryExperiment, error) {
+	if rounds <= 0 {
+		rounds = d
+	}
+	return verify.SurgeryExperiment(d, 1, rounds, 1, pauli.Z)
+}
+
+// ExtractSurgeryDetectors walks the per-region record tables of a compiled
+// surgery experiment and returns its detector/observable structure:
+// stabilizer histories stitched across the merge boundary (boundary
+// plaquettes grow by absorbing seam qubits), a merge-parity detector over
+// the seam-crossing plaquettes that carry the joint measurement, split
+// close-out detectors folding the transversal seam records, and readout
+// time boundaries per patch.
+func ExtractSurgeryDetectors(s *SurgeryExperiment) (*Detectors, error) {
+	return decoder.ExtractSurgery(s)
+}
+
+// CompileSurgeryDecoder compiles a noise schedule against a surgery
+// experiment into a union-find decoding graph, the surgery counterpart of
+// CompileDecoder: compile once per (program, model) and share across any
+// number of concurrent shot workers.
+func CompileSurgeryDecoder(s *SurgeryExperiment, sched *FaultSchedule) (*DecoderGraph, error) {
+	det, err := decoder.ExtractSurgery(s)
+	if err != nil {
+		return nil, err
+	}
+	return decoder.CompileGraph(det, sched)
+}
+
+// EstimateDecodedSurgeryErrorRate estimates the decoded logical error rate
+// of a distance-d merge/split cycle under a noise model: each noisy shot's
+// detector history — stitched across the merge and split boundaries — is
+// union-find-decoded and the corrected joint parity is compared against the
+// noiseless reference. This extends decoded estimates from idle memory to
+// the lattice-surgery instructions of paper Table 3. rounds counts the
+// merged-phase rounds (0 selects d). Deterministic in (d, rounds, model,
+// options) for every worker count.
+func EstimateDecodedSurgeryErrorRate(d, rounds int, m NoiseModel, opt LogicalErrorOptions) (LogicalErrorResult, error) {
+	if err := m.Validate(); err != nil {
+		return LogicalErrorResult{}, err
+	}
+	s, err := CompileSurgeryExperiment(d, rounds)
+	if err != nil {
+		return LogicalErrorResult{}, err
+	}
+	sched := noise.Compile(m, s.Prog)
+	g, err := CompileSurgeryDecoder(s, sched)
+	if err != nil {
+		return LogicalErrorResult{}, err
+	}
+	opt.Decoder = g
+	return noise.EstimateLogicalError(sched, s.Outcome, s.Reference, opt)
+}
+
+// WriteSurgeryDetectorErrorModel writes the Stim-compatible detector error
+// model of a noise schedule compiled against a surgery experiment, so
+// external decoders can consume TISCC lattice-surgery workloads directly.
+func WriteSurgeryDetectorErrorModel(w io.Writer, s *SurgeryExperiment, sched *FaultSchedule) error {
+	det, err := decoder.ExtractSurgery(s)
+	if err != nil {
+		return err
+	}
+	return decoder.WriteDEM(w, det, sched)
 }
 
 // RunCircuit executes one simulation shot of a compiled circuit (a thin

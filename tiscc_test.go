@@ -303,3 +303,63 @@ func TestFacadeWriteDEM(t *testing.T) {
 		t.Fatalf("DEM output missing required lines:\n%s", out)
 	}
 }
+
+// TestFacadeDecodedSurgery exercises the lattice-surgery decoding entry
+// points end to end: the decoded merge/split cycle estimate must undercut
+// the raw joint-parity readout, and the long-form pipeline
+// (CompileSurgeryExperiment → CompileNoise → CompileSurgeryDecoder →
+// EstimateLogicalError) must reproduce EstimateDecodedSurgeryErrorRate
+// bit for bit.
+func TestFacadeDecodedSurgery(t *testing.T) {
+	opt := tiscc.LogicalErrorOptions{Shots: 600, Seed: 9}
+	m := tiscc.DepolarizingNoise(2e-3)
+	dec, err := tiscc.EstimateDecodedSurgeryErrorRate(3, 2, m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tiscc.CompileSurgeryExperiment(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := tiscc.CompileNoise(m, s.Prog)
+	raw, err := tiscc.EstimateLogicalError(sched, s.Outcome, s.Reference, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Rate >= raw.Rate {
+		t.Fatalf("decoded surgery rate %v did not undercut raw rate %v", dec.Rate, raw.Rate)
+	}
+	g, err := tiscc.CompileSurgeryDecoder(s, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Decoder = g
+	manual, err := tiscc.EstimateLogicalError(sched, s.Outcome, s.Reference, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manual != dec {
+		t.Fatalf("long-form pipeline %+v differs from EstimateDecodedSurgeryErrorRate %+v", manual, dec)
+	}
+	if _, err := tiscc.ExtractSurgeryDetectors(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeWriteSurgeryDEM smoke-tests the surgery detector-error-model
+// export.
+func TestFacadeWriteSurgeryDEM(t *testing.T) {
+	s, err := tiscc.CompileSurgeryExperiment(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := tiscc.CompileNoise(tiscc.DepolarizingNoise(1e-3), s.Prog)
+	var sb strings.Builder
+	if err := tiscc.WriteSurgeryDetectorErrorModel(&sb, s, sched); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "error(") || !strings.Contains(out, "logical_observable L0") {
+		t.Fatalf("surgery DEM output missing required lines:\n%s", out)
+	}
+}
