@@ -762,3 +762,37 @@ func BenchmarkHadamardRotate(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkShotEngines is the bit-sliced-transpose acceptance benchmark: a
+// distance-d memory experiment (d rounds of syndrome extraction) run as
+// noisy shots (depolarizing p=1e-3 fault schedule) on the row-major
+// reference engine and on the bit-sliced default. Both engines produce
+// bit-identical records per seed; the transpose turns every gate and fault
+// update into O(rows/64) word operations, so the ratio grows with distance
+// (the README's "Bit-sliced engine" table is this benchmark's output). The
+// acceptance target is ≥ 2× at d ≥ 11.
+func BenchmarkShotEngines(b *testing.B) {
+	for _, d := range []int{5, 7, 9, 11, 13} {
+		mem, err := verify.MemoryExperiment(d, d, pauli.Z)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sched := noise.Compile(noise.Depolarizing(1e-3), mem.Prog)
+		for _, eng := range []struct {
+			name string
+			mk   func(*orqcs.Program) *orqcs.Engine
+		}{
+			{"rowmajor", orqcs.NewFromProgramRowMajor},
+			{"bitsliced", orqcs.NewFromProgram},
+		} {
+			b.Run(fmt.Sprintf("d=%d/%s", d, eng.name), func(b *testing.B) {
+				e := eng.mk(mem.Prog)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sched.RunShot(e, orqcs.ShotSeed(1, i))
+				}
+			})
+		}
+	}
+}

@@ -33,6 +33,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -65,8 +66,19 @@ func main() {
 	)
 	flag.Parse()
 	if *memory != "" && *surgery != "" {
-		fmt.Fprintln(os.Stderr, "orqcs: -memory and -surgery are mutually exclusive")
-		os.Exit(2)
+		usageErr("-memory and -surgery are mutually exclusive")
+	}
+	// Validate every numeric flag up front: invalid inputs must exit with a
+	// usage error, never reach an internal panic ("grid: size must be
+	// positive" and friends are for programming errors, not typos).
+	if err := validateProb("-noise", *noiseP); err != nil {
+		usageErr(err.Error())
+	}
+	if err := validateShots(*shots); err != nil {
+		usageErr(err.Error())
+	}
+	if *workers < 0 {
+		usageErr(fmt.Sprintf("-workers must be ≥ 0 (0 = GOMAXPROCS), got %d", *workers))
 	}
 	if *memory != "" {
 		runMemory(*memory, *noiseP, *decode, *demFile, *shots, *seed, *workers, *fuse)
@@ -77,8 +89,7 @@ func main() {
 		return
 	}
 	if *file == "" {
-		fmt.Fprintln(os.Stderr, "orqcs: -circuit, -memory or -surgery is required")
-		os.Exit(2)
+		usageErr("-circuit, -memory or -surgery is required")
 	}
 	text, err := os.ReadFile(*file)
 	if err != nil {
@@ -164,20 +175,51 @@ func main() {
 	}
 }
 
-// parseDSpec parses a d or d:rounds experiment spec (rounds defaults to d).
-func parseDSpec(flagName, spec string) (d, rounds int) {
+// parseDSpec parses and validates a d or d:rounds experiment spec (rounds
+// defaults to d): the distance must be a code distance the compiler accepts
+// (≥ 2) and the round count non-negative, so bad specs exit with a usage
+// error instead of a grid-construction panic deep in the compiler.
+func parseDSpec(flagName, spec string) (d, rounds int, err error) {
 	parts := strings.SplitN(spec, ":", 2)
-	d, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	d, err = strconv.Atoi(strings.TrimSpace(parts[0]))
 	if err != nil {
-		fatal(fmt.Errorf("bad -%s %q: %w", flagName, spec, err))
+		return 0, 0, fmt.Errorf("bad -%s %q: %w", flagName, spec, err)
 	}
 	rounds = d
 	if len(parts) == 2 {
 		if rounds, err = strconv.Atoi(strings.TrimSpace(parts[1])); err != nil {
-			fatal(fmt.Errorf("bad -%s %q: %w", flagName, spec, err))
+			return 0, 0, fmt.Errorf("bad -%s %q: %w", flagName, spec, err)
 		}
 	}
-	return d, rounds
+	if d < 2 {
+		return 0, 0, fmt.Errorf("bad -%s %q: distance must be ≥ 2, got %d", flagName, spec, d)
+	}
+	if rounds < 0 {
+		return 0, 0, fmt.Errorf("bad -%s %q: rounds must be ≥ 0, got %d", flagName, spec, rounds)
+	}
+	return d, rounds, nil
+}
+
+// validateProb checks a probability flag lies in [0, 1].
+func validateProb(name string, p float64) error {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return fmt.Errorf("%s must be a probability in [0, 1], got %v", name, p)
+	}
+	return nil
+}
+
+// validateShots checks the Monte-Carlo shot count is positive.
+func validateShots(shots int) error {
+	if shots < 1 {
+		return fmt.Errorf("-shots must be ≥ 1, got %d", shots)
+	}
+	return nil
+}
+
+// usageErr prints a usage error and exits with the conventional status 2.
+func usageErr(msg string) {
+	fmt.Fprintln(os.Stderr, "orqcs:", msg)
+	os.Exit(2)
 }
 
 // experiment is what the shared -memory/-surgery estimation pipeline needs
@@ -194,7 +236,10 @@ type experiment struct {
 // runMemory compiles a distance-d memory experiment and hands it to the
 // shared estimation pipeline.
 func runMemory(spec string, noiseP float64, decode bool, demFile string, shots int, seed int64, workers int, fuse bool) {
-	d, rounds := parseDSpec("memory", spec)
+	d, rounds, err := parseDSpec("memory", spec)
+	if err != nil {
+		usageErr(err.Error())
+	}
 	mem, err := verify.MemoryExperiment(d, rounds, pauli.Z)
 	if err != nil {
 		fatal(err)
@@ -219,7 +264,10 @@ func runMemory(spec string, noiseP float64, decode bool, demFile string, shots i
 // it to the shared estimation pipeline; the estimated quantity is the joint
 // parity (final Z̄Z̄ readout against the merge outcome).
 func runSurgery(spec string, noiseP float64, decode bool, demFile string, shots int, seed int64, workers int, fuse bool) {
-	d, rounds := parseDSpec("surgery", spec)
+	d, rounds, err := parseDSpec("surgery", spec)
+	if err != nil {
+		usageErr(err.Error())
+	}
 	s, err := verify.SurgeryExperiment(d, 1, rounds, 1, pauli.Z)
 	if err != nil {
 		fatal(err)

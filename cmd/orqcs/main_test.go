@@ -1,0 +1,115 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestParseDSpec(t *testing.T) {
+	good := []struct {
+		spec      string
+		d, rounds int
+	}{
+		{"3", 3, 3},
+		{"5:2", 5, 2},
+		{"2:0", 2, 0},
+		{" 7 : 4 ", 7, 4},
+	}
+	for _, tc := range good {
+		d, r, err := parseDSpec("memory", tc.spec)
+		if err != nil {
+			t.Fatalf("parseDSpec(%q): %v", tc.spec, err)
+		}
+		if d != tc.d || r != tc.rounds {
+			t.Fatalf("parseDSpec(%q) = (%d, %d), want (%d, %d)", tc.spec, d, r, tc.d, tc.rounds)
+		}
+	}
+	bad := []string{"", "abc", "3:xyz", "0", "1", "-3", "3:-2", "-1:4", "3:2:1x"}
+	for _, spec := range bad {
+		if _, _, err := parseDSpec("memory", spec); err == nil {
+			t.Fatalf("parseDSpec(%q) accepted an invalid spec", spec)
+		}
+	}
+}
+
+func TestValidateProb(t *testing.T) {
+	for _, p := range []float64{0, 0.5, 1} {
+		if err := validateProb("-noise", p); err != nil {
+			t.Fatalf("validateProb(%v): %v", p, err)
+		}
+	}
+	nan := 0.0
+	nan /= nan
+	for _, p := range []float64{-0.1, 1.0001, 15, nan} {
+		if err := validateProb("-noise", p); err == nil {
+			t.Fatalf("validateProb(%v) accepted an out-of-range probability", p)
+		}
+	}
+}
+
+func TestValidateShots(t *testing.T) {
+	if err := validateShots(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []int{0, -5} {
+		if err := validateShots(s); err == nil {
+			t.Fatalf("validateShots(%d) accepted a non-positive count", s)
+		}
+	}
+}
+
+// TestCLIErrorPaths re-executes the test binary as the orqcs CLI with
+// invalid flags and asserts each run exits with a usage error (status 2,
+// "orqcs:" message) rather than an internal panic with a stack trace.
+func TestCLIErrorPaths(t *testing.T) {
+	if os.Getenv("ORQCS_RUN_MAIN") == "1" {
+		// Child process: become the CLI.
+		flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ExitOnError)
+		os.Args = append([]string{"orqcs"}, strings.Split(os.Getenv("ORQCS_ARGS"), "\x1f")...)
+		main()
+		os.Exit(0)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative-distance", []string{"-memory", "-3"}, "distance must be ≥ 2"},
+		{"zero-distance", []string{"-memory", "0"}, "distance must be ≥ 2"},
+		{"negative-rounds", []string{"-memory", "3:-2"}, "rounds must be ≥ 0"},
+		{"bad-spec", []string{"-surgery", "abc"}, "bad -surgery"},
+		{"surgery-negative", []string{"-surgery", "-5:1"}, "distance must be ≥ 2"},
+		{"noise-too-big", []string{"-memory", "3", "-noise", "1.5"}, "probability in [0, 1]"},
+		{"noise-negative", []string{"-memory", "3", "-noise", "-0.25"}, "probability in [0, 1]"},
+		{"zero-shots", []string{"-memory", "3", "-shots", "0"}, "-shots must be ≥ 1"},
+		{"negative-workers", []string{"-memory", "3", "-workers", "-2"}, "-workers must be ≥ 0"},
+		{"both-experiments", []string{"-memory", "3", "-surgery", "3"}, "mutually exclusive"},
+		{"nothing", []string{}, "is required"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(os.Args[0], "-test.run", "TestCLIErrorPaths")
+			cmd.Env = append(os.Environ(),
+				"ORQCS_RUN_MAIN=1",
+				"ORQCS_ARGS="+strings.Join(tc.args, "\x1f"))
+			out, err := cmd.CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("args %v: expected a usage-error exit, got err=%v output=%q", tc.args, err, out)
+			}
+			if code := ee.ExitCode(); code != 2 {
+				t.Fatalf("args %v: exit code %d, want 2; output:\n%s", tc.args, code, out)
+			}
+			if strings.Contains(string(out), "panic:") || strings.Contains(string(out), "goroutine ") {
+				t.Fatalf("args %v: CLI panicked:\n%s", tc.args, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Fatalf("args %v: output missing %q:\n%s", tc.args, tc.want, out)
+			}
+		})
+	}
+}

@@ -21,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -60,6 +61,36 @@ func main() {
 		surgery = flag.Bool("surgery", false, "with -noise: sweep two-patch ZZ-merge/split cycles (joint-parity error) instead of idle memory")
 	)
 	flag.Parse()
+	// Validate every numeric flag up front: invalid inputs exit with a usage
+	// error instead of reaching internal panics (negative distances would
+	// otherwise blow up in grid construction with a stack trace).
+	if err := validateDistance(*d); err != nil {
+		usageErr(err.Error())
+	}
+	if *shots < 1 {
+		usageErr(fmt.Sprintf("-shots must be ≥ 1, got %d", *shots))
+	}
+	if *rounds < 0 {
+		usageErr(fmt.Sprintf("-rounds must be ≥ 0 (0 = use the code distance), got %d", *rounds))
+	}
+	dlistVals, err := parseInts(*dlist)
+	if err != nil {
+		usageErr(fmt.Sprintf("bad -dlist: %v", err))
+	}
+	for _, dv := range dlistVals {
+		if err := validateDistance(dv); err != nil {
+			usageErr(fmt.Sprintf("bad -dlist entry: %v", err))
+		}
+	}
+	plistVals, err := parseFloats(*plist)
+	if err != nil {
+		usageErr(fmt.Sprintf("bad -plist: %v", err))
+	}
+	for _, pv := range plistVals {
+		if math.IsNaN(pv) || pv < 0 || pv > 1 {
+			usageErr(fmt.Sprintf("bad -plist entry: %v is not a probability in [0, 1]", pv))
+		}
+	}
 	if *all {
 		for _, t := range []int{1, 2, 3, 5} {
 			printTable(t, *d)
@@ -67,7 +98,7 @@ func main() {
 		for _, f := range []int{1, 2, 3, 4, 6} {
 			printFigure(f, *d)
 		}
-		printResources(parseInts(*dlist))
+		printResources(dlistVals)
 		runVerify()
 		return
 	}
@@ -81,7 +112,7 @@ func main() {
 		did = true
 	}
 	if *res {
-		printResources(parseInts(*dlist))
+		printResources(dlistVals)
 		did = true
 	}
 	if *ver {
@@ -99,18 +130,32 @@ func main() {
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "dlist":
-				ds = parseInts(*dlist)
+				ds = dlistVals
 			case "shots":
 				nshots = *shots
 			}
 		})
-		runNoiseSweep(ds, parseFloats(*plist), *rounds, nshots, *seed, *model, *decode, *surgery)
+		runNoiseSweep(ds, plistVals, *rounds, nshots, *seed, *model, *decode, *surgery)
 		did = true
 	}
 	if !did {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// validateDistance checks a code-distance flag (the compiler accepts d ≥ 2).
+func validateDistance(d int) error {
+	if d < 2 {
+		return fmt.Errorf("code distance must be ≥ 2, got %d", d)
+	}
+	return nil
+}
+
+// usageErr prints a usage error and exits with the conventional status 2.
+func usageErr(msg string) {
+	fmt.Fprintln(os.Stderr, "tiscc-bench:", msg)
+	os.Exit(2)
 }
 
 // runNoiseSweep estimates logical error rates across code distances and
@@ -221,17 +266,16 @@ func runNoiseSweep(ds []int, ps []float64, rounds, shots int, seed int64, model 
 	fmt.Println()
 }
 
-func parseFloats(s string) []float64 {
+func parseFloats(s string) ([]float64, error) {
 	var out []float64
 	for _, p := range strings.Split(s, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad -plist entry %q: %v\n", p, err)
-			os.Exit(2)
+			return nil, fmt.Errorf("entry %q: %v", p, err)
 		}
 		out = append(out, v)
 	}
-	return out
+	return out, nil
 }
 
 // runSimBench times the Monte-Carlo verification hot path (a d×d T-state
@@ -308,18 +352,48 @@ func runSimBench(d, shots int) {
 		clean, float64(shots)/clean.Seconds())
 	fmt.Printf("  noisy RunShot loop (p=1e-3)    %10v  (%.0f shots/s, %.2f× noiseless, %d fault sites)\n",
 		noisyEl, float64(shots)/noisyEl.Seconds(), noisyEl.Seconds()/clean.Seconds(), sched.NumFaultSites())
+
+	// Tableau representation: the bit-sliced (column-major) engine against
+	// the row-major reference on a noisy memory-experiment workload. Both
+	// produce bit-identical records per seed; only throughput differs.
+	runEngineBench(d, shots)
 	fmt.Println()
 }
 
-func parseInts(s string) []int {
+// runEngineBench times noisy memory-experiment shots on the row-major and
+// bit-sliced engines and prints the transpose speedup.
+func runEngineBench(d, shots int) {
+	mem, err := verify.MemoryExperiment(d, d, pauli.Z)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		return
+	}
+	sched := noise.Compile(noise.Depolarizing(1e-3), mem.Prog)
+	time1 := func(e *orqcs.Engine) time.Duration {
+		t0 := time.Now()
+		for s := 0; s < shots; s++ {
+			sched.RunShot(e, orqcs.ShotSeed(1, s))
+		}
+		return time.Since(t0)
+	}
+	rm := time1(orqcs.NewFromProgramRowMajor(mem.Prog))
+	sl := time1(orqcs.NewFromProgram(mem.Prog))
+	fmt.Printf("  row-major noisy memory (d=%d)   %10v  (%.0f shots/s)\n",
+		d, rm, float64(shots)/rm.Seconds())
+	fmt.Printf("  bit-sliced noisy memory (d=%d)  %10v  (%.0f shots/s, %.2f× row-major)\n",
+		d, sl, float64(shots)/sl.Seconds(), rm.Seconds()/sl.Seconds())
+}
+
+func parseInts(s string) ([]int, error) {
 	var out []int
 	for _, p := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err == nil {
-			out = append(out, v)
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: %v", p, err)
 		}
+		out = append(out, v)
 	}
-	return out
+	return out, nil
 }
 
 // --- Instruction execution helpers -------------------------------------------

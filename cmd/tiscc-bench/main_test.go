@@ -1,0 +1,102 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("3, 5,7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 3 || got[1] != 5 || got[2] != 7 {
+		t.Fatalf("parseInts = %v", got)
+	}
+	for _, s := range []string{"", "3,,5", "3,x", "3.5"} {
+		if _, err := parseInts(s); err == nil {
+			t.Fatalf("parseInts(%q) accepted malformed input", s)
+		}
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("1e-4, 0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1e-4 || got[1] != 0.5 {
+		t.Fatalf("parseFloats = %v", got)
+	}
+	for _, s := range []string{"", "0.1,,0.2", "zzz"} {
+		if _, err := parseFloats(s); err == nil {
+			t.Fatalf("parseFloats(%q) accepted malformed input", s)
+		}
+	}
+}
+
+func TestValidateDistance(t *testing.T) {
+	for _, d := range []int{2, 3, 13} {
+		if err := validateDistance(d); err != nil {
+			t.Fatalf("validateDistance(%d): %v", d, err)
+		}
+	}
+	for _, d := range []int{1, 0, -3} {
+		if err := validateDistance(d); err == nil {
+			t.Fatalf("validateDistance(%d) accepted an invalid distance", d)
+		}
+	}
+}
+
+// TestCLIErrorPaths re-executes the test binary as the tiscc-bench CLI with
+// invalid flags and asserts each run exits with a usage error (status 2)
+// rather than an internal panic with a stack trace.
+func TestCLIErrorPaths(t *testing.T) {
+	if os.Getenv("TISCC_BENCH_RUN_MAIN") == "1" {
+		flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ExitOnError)
+		os.Args = append([]string{"tiscc-bench"}, strings.Split(os.Getenv("TISCC_BENCH_ARGS"), "\x1f")...)
+		main()
+		os.Exit(0)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative-d", []string{"-table", "1", "-d", "-3"}, "code distance must be ≥ 2"},
+		{"zero-d", []string{"-simbench", "-d", "0"}, "code distance must be ≥ 2"},
+		{"negative-dlist", []string{"-noise", "-dlist", "-3", "-plist", "1e-3"}, "code distance must be ≥ 2"},
+		{"bad-dlist", []string{"-noise", "-dlist", "3,x"}, "bad -dlist"},
+		{"bad-plist", []string{"-noise", "-plist", "zzz"}, "bad -plist"},
+		{"plist-range", []string{"-noise", "-plist", "1.5"}, "not a probability"},
+		{"plist-negative", []string{"-noise", "-plist", "-0.2"}, "not a probability"},
+		{"negative-rounds", []string{"-noise", "-rounds", "-1"}, "-rounds must be ≥ 0"},
+		{"zero-shots", []string{"-noise", "-shots", "0"}, "-shots must be ≥ 1"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(os.Args[0], "-test.run", "TestCLIErrorPaths")
+			cmd.Env = append(os.Environ(),
+				"TISCC_BENCH_RUN_MAIN=1",
+				"TISCC_BENCH_ARGS="+strings.Join(tc.args, "\x1f"))
+			out, err := cmd.CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("args %v: expected a usage-error exit, got err=%v output=%q", tc.args, err, out)
+			}
+			if code := ee.ExitCode(); code != 2 {
+				t.Fatalf("args %v: exit code %d, want 2; output:\n%s", tc.args, code, out)
+			}
+			if strings.Contains(string(out), "panic:") || strings.Contains(string(out), "goroutine ") {
+				t.Fatalf("args %v: CLI panicked:\n%s", tc.args, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Fatalf("args %v: output missing %q:\n%s", tc.args, tc.want, out)
+			}
+		})
+	}
+}

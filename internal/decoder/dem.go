@@ -59,6 +59,17 @@ func WriteDEM(w io.Writer, d *Detectors, s *noise.Schedule) error {
 	if err != nil {
 		return err
 	}
+	// Mechanisms whose merged probability vanished (zero-rate model classes,
+	// or p=1 branches with identical symptoms cancelling under the XOR
+	// merge) carry no information: an error(0) line is pure noise for
+	// downstream decoders, so it is skipped at write time.
+	kept := ordered[:0]
+	for _, m := range ordered {
+		if m.p > 0 {
+			kept = append(kept, m)
+		}
+	}
+	ordered = kept
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# TISCC detector error model: %d detectors, %d mechanisms, model %q\n",
 		len(d.Dets), len(ordered), s.Model().Name)
@@ -94,12 +105,19 @@ type DEMMechanism struct {
 
 // DEM is a parsed detector error model: the mechanism list in file order,
 // the per-detector coordinate declarations, and the declared observable
-// count. It is the read side of WriteDEM, so exported models can be
-// round-trip checked (and external DEMs inspected) without Stim.
+// ids. Observables counts the distinct logical_observable declarations
+// (len(ObservableIDs)); consumers sizing an id-indexed observable frame
+// should use the ids themselves, which need not be dense. It is the read
+// side of WriteDEM, so exported models can be round-trip checked without
+// Stim. Note the declaration contract is stricter than Stim's (where
+// detector coordinates are optional annotations): every D<i>/L0 a
+// mechanism references must be declared, as WriteDEM always does —
+// annotation-free external models are rejected rather than guessed at.
 type DEM struct {
-	Mechanisms  []DEMMechanism
-	Coords      map[int32][4]int // detector id → (face row, face col, round, type)
-	Observables int
+	Mechanisms    []DEMMechanism
+	Coords        map[int32][4]int // detector id → (face row, face col, round, type)
+	ObservableIDs []int32          // declared logical_observable ids, sorted ascending
+	Observables   int              // == len(ObservableIDs)
 }
 
 // NumDetectors returns the number of declared detectors.
@@ -112,6 +130,7 @@ func (m *DEM) NumDetectors() int { return len(m.Coords) }
 // lines are reported with their content.
 func ParseDEM(r io.Reader) (*DEM, error) {
 	out := &DEM{Coords: map[int32][4]int{}}
+	obsSeen := map[int32]bool{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	for sc.Scan() {
@@ -188,9 +207,18 @@ func ParseDEM(r io.Reader) (*DEM, error) {
 			if len(fields) != 2 || len(fields[1]) < 2 || fields[1][0] != 'L' {
 				return nil, fmt.Errorf("decoder: malformed observable declaration %q", line)
 			}
-			if _, err := strconv.ParseInt(fields[1][1:], 10, 32); err != nil {
+			id, err := strconv.ParseInt(fields[1][1:], 10, 32)
+			if err != nil || id < 0 {
 				return nil, fmt.Errorf("decoder: bad observable id in %q", line)
 			}
+			// Observables are counted by declared id: a re-declaration would
+			// silently inflate the count (and with it every consumer's
+			// observable-frame width), so it is rejected outright.
+			if obsSeen[int32(id)] {
+				return nil, fmt.Errorf("decoder: duplicate declaration of L%d", id)
+			}
+			obsSeen[int32(id)] = true
+			out.ObservableIDs = append(out.ObservableIDs, int32(id))
 			out.Observables++
 		default:
 			return nil, fmt.Errorf("decoder: unknown DEM line %q", line)
@@ -199,5 +227,21 @@ func ParseDEM(r io.Reader) (*DEM, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	// Every mechanism target must reference a declared detector (an error
+	// line naming an undeclared D<i> would otherwise flow into decoder
+	// graphs as a phantom node with no coordinates) and a declared
+	// observable (a mechanism flipping L0 in a model that never declares it
+	// would escape any consumer sizing its frame from the declarations).
+	for _, m := range out.Mechanisms {
+		for _, di := range m.Dets {
+			if _, ok := out.Coords[di]; !ok {
+				return nil, fmt.Errorf("decoder: mechanism targets undeclared detector D%d", di)
+			}
+		}
+		if m.Obs && !obsSeen[0] {
+			return nil, fmt.Errorf("decoder: mechanism targets undeclared observable L0")
+		}
+	}
+	sortedDetIDs(out.ObservableIDs)
 	return out, nil
 }

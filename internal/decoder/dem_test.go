@@ -146,7 +146,16 @@ func TestParseDEMRejectsMalformed(t *testing.T) {
 		"logical_observableXYZ",
 		"logical_observable L0 L1",
 		"logical_observable Lx",
+		"logical_observable L-1",
 		"wibble",
+		// Re-declared observable ids would silently inflate DEM.Observables.
+		"logical_observable L0\nlogical_observable L0",
+		"logical_observable L2\ndetector(0, 0, 0, 0) D0\nlogical_observable L2",
+		// Mechanism targets must reference declared detectors/observables.
+		"error(0.1) D0",
+		"detector(0, 0, 0, 0) D0\nerror(0.1) D0 D1 L0\nlogical_observable L0",
+		"detector(0, 0, 0, 0) D0\nerror(0.1) D0 L0",
+		"detector(0, 0, 0, 0) D0\nerror(0.1) D0 L0\nlogical_observable L1",
 	}
 	for _, text := range bad {
 		if _, err := ParseDEM(strings.NewReader(text)); err == nil {
@@ -155,19 +164,121 @@ func TestParseDEMRejectsMalformed(t *testing.T) {
 	}
 }
 
+// TestParseDEMObservableDedupe pins the observable-declaration accounting:
+// distinct ids accumulate, and a model with no mechanisms or detectors but
+// several observables parses to the exact distinct-id count.
+func TestParseDEMObservableDedupe(t *testing.T) {
+	dem, err := ParseDEM(strings.NewReader("logical_observable L7\nlogical_observable L0\nlogical_observable L1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dem.Observables != 3 {
+		t.Fatalf("Observables = %d, want 3", dem.Observables)
+	}
+	if !equalIDs(dem.ObservableIDs, []int32{0, 1, 7}) {
+		t.Fatalf("ObservableIDs = %v, want sorted [0 1 7]", dem.ObservableIDs)
+	}
+	if _, err := ParseDEM(strings.NewReader("logical_observable L7\nlogical_observable L1\nlogical_observable L7\n")); err == nil {
+		t.Fatal("ParseDEM accepted a re-declared observable id")
+	} else if !strings.Contains(err.Error(), "duplicate declaration of L7") {
+		t.Fatalf("unexpected error for duplicate observable: %v", err)
+	}
+}
+
+// TestWriteDEMSkipsZeroProbability is the regression test for error(0)
+// emission: a SPAM-saturated model (PPrep = PMeas = 1) on a d=3 memory
+// experiment merges preparation and measurement flips with identical
+// symptoms to probability exactly 0 under the XOR merge rule. Those
+// mechanisms must be dropped at write time, and the parse output must be
+// unchanged relative to the nonzero mechanism set.
+func TestWriteDEMSkipsZeroProbability(t *testing.T) {
+	mem := mustMemory(t, 3, 1, pauli.Z)
+	det := mustDetectors(t, mem)
+	sched := noise.Compile(noise.Model{Name: "spam-saturated", PPrep: 1, PMeas: 1}, mem.Prog)
+
+	// Independent aggregation with WriteDEM's merge rule, split by zero/nonzero.
+	wantP := map[string]float64{}
+	if err := forEachMechanism(det, sched, func(m mechanism) error {
+		k := demKey(m.dets, m.obs)
+		if p, ok := wantP[k]; ok {
+			wantP[k] = mergeP(p, m.p)
+		} else {
+			wantP[k] = m.p
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	zeros := 0
+	for k, p := range wantP {
+		if p == 0 {
+			zeros++
+			delete(wantP, k)
+		}
+	}
+	if zeros == 0 {
+		t.Fatal("test premise broken: the saturated SPAM model produced no zero-probability merges")
+	}
+
+	var text strings.Builder
+	if err := WriteDEM(&text, det, sched); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(text.String(), "\n") {
+		if strings.HasPrefix(line, "error(0)") {
+			t.Fatalf("WriteDEM emitted a zero-probability mechanism: %q", line)
+		}
+	}
+	dem, err := ParseDEM(strings.NewReader(text.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dem.Mechanisms) != len(wantP) {
+		t.Fatalf("parsed %d mechanisms, want the %d nonzero ones", len(dem.Mechanisms), len(wantP))
+	}
+	for _, m := range dem.Mechanisms {
+		want, ok := wantP[demKey(m.Dets, m.Obs)]
+		if !ok {
+			t.Fatalf("parsed mechanism %v (obs %v) missing from the nonzero enumeration", m.Dets, m.Obs)
+		}
+		if m.P != want {
+			t.Fatalf("mechanism %v probability %v, want %v", m.Dets, m.P, want)
+		}
+	}
+	// Round trip of the fixed writer is the identity on the parse output.
+	var again strings.Builder
+	fmt.Fprint(&again, text.String())
+	dem2, err := ParseDEM(strings.NewReader(again.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dem2.Mechanisms) != len(dem.Mechanisms) || dem2.Observables != dem.Observables ||
+		dem2.NumDetectors() != dem.NumDetectors() {
+		t.Fatal("parse output changed across an identical re-parse")
+	}
+}
+
 // FuzzParseDEM asserts the parser never panics on arbitrary input and that
 // every accepted input re-serializes to a model it accepts again with
-// identical mechanisms (parse → print → parse is the identity).
+// identical mechanisms, detector declarations and observable count
+// (parse → print → parse is the identity).
 func FuzzParseDEM(f *testing.F) {
-	f.Add("# comment\nerror(1.3e-05) D0 D4 L0\ndetector(0, -1, 2, 0) D7\nlogical_observable L0\n")
-	f.Add("error(0.5) D1\n")
+	f.Add("# comment\nerror(1.3e-05) D0 D4 L0\ndetector(0, -1, 2, 0) D0\ndetector(1, 1, 0, 1) D4\nlogical_observable L0\n")
+	f.Add("detector(2, 2, 0, 0) D1\nerror(0.5) D1\n")
 	f.Add("detector(1, 2, 3, 1) D0\n")
+	f.Add("logical_observable L0\nlogical_observable L3\n")
 	f.Fuzz(func(t *testing.T, text string) {
 		dem, err := ParseDEM(strings.NewReader(text))
 		if err != nil {
 			return
 		}
 		var sb strings.Builder
+		for id, c := range dem.Coords {
+			fmt.Fprintf(&sb, "detector(%d, %d, %d, %d) D%d\n", c[0], c[1], c[2], c[3], id)
+		}
+		for _, id := range dem.ObservableIDs {
+			fmt.Fprintf(&sb, "logical_observable L%d\n", id)
+		}
 		for _, m := range dem.Mechanisms {
 			fmt.Fprintf(&sb, "error(%g)", m.P)
 			for _, di := range m.Dets {
@@ -185,6 +296,14 @@ func FuzzParseDEM(f *testing.F) {
 		if len(again.Mechanisms) != len(dem.Mechanisms) {
 			t.Fatalf("mechanism count changed across print/parse: %d vs %d",
 				len(again.Mechanisms), len(dem.Mechanisms))
+		}
+		if again.Observables != dem.Observables || again.NumDetectors() != dem.NumDetectors() {
+			t.Fatalf("declarations changed across print/parse: %d/%d observables, %d/%d detectors",
+				again.Observables, dem.Observables, again.NumDetectors(), dem.NumDetectors())
+		}
+		if !equalIDs(again.ObservableIDs, dem.ObservableIDs) {
+			t.Fatalf("observable ids changed across print/parse: %v vs %v",
+				again.ObservableIDs, dem.ObservableIDs)
 		}
 		for i, m := range dem.Mechanisms {
 			g := again.Mechanisms[i]

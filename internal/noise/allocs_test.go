@@ -1,0 +1,46 @@
+package noise
+
+import (
+	"testing"
+
+	"tiscc/internal/orqcs"
+	"tiscc/internal/pauli"
+	"tiscc/internal/verify"
+)
+
+// TestNoisyShotZeroAllocs is the allocs/shot regression guard for the noisy
+// loop: after a warm-up shot has grown the engine's record table and scratch
+// buffers, repeated fault-injecting shots on the bit-sliced engine (and on
+// the row-major reference) must allocate nothing — the contract that keeps
+// EstimateBatch throughput flat across millions of shots.
+func TestNoisyShotZeroAllocs(t *testing.T) {
+	mem, err := verify.MemoryExperiment(3, 3, pauli.Z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := Compile(Depolarizing(1e-3), mem.Prog)
+	engines := []struct {
+		name string
+		e    *orqcs.Engine
+	}{
+		{"bitsliced", orqcs.NewFromProgram(mem.Prog)},
+		{"rowmajor", orqcs.NewFromProgramRowMajor(mem.Prog)},
+	}
+	for _, eng := range engines {
+		eng := eng
+		t.Run(eng.name, func(t *testing.T) {
+			// Warm up: first shots populate the record map and scratch.
+			for i := 0; i < 3; i++ {
+				sched.RunShot(eng.e, orqcs.ShotSeed(1, i))
+			}
+			shot := 3
+			allocs := testing.AllocsPerRun(20, func() {
+				sched.RunShot(eng.e, orqcs.ShotSeed(1, shot))
+				shot++
+			})
+			if allocs != 0 {
+				t.Fatalf("noisy shot loop allocates %.1f objects/shot, want 0", allocs)
+			}
+		})
+	}
+}

@@ -225,7 +225,7 @@ func (f *Fault) Branch(b int) (p float64, x1, z1, x2, z2 bool) {
 // tableau as Pauli frame updates. Exactly one uniform draw per fault
 // location, fired or not, so the draw sequence is schedule-shaped and a shot
 // can be replayed (FiredFaults) without simulating.
-func (s *Schedule) applySlot(slot int, tb *tableau.T, r *nrng) {
+func (s *Schedule) applySlot(slot int, tb tableau.State, r *nrng) {
 	for k := s.start[slot]; k < s.start[slot+1]; k++ {
 		f := &s.faults[k]
 		u := r.next()

@@ -34,7 +34,7 @@ import (
 // per-shot cost is pure simulation work.
 type Engine struct {
 	prog   *Program
-	tb     *tableau.T
+	tb     tableau.State
 	src    rand.Source
 	rng    *rand.Rand
 	weight float64
@@ -136,8 +136,25 @@ func (s *shotSource) Int63() int64 { return int64(s.Uint64() >> 1) }
 // NewFromProgram prepares a reusable engine for a compiled program (all ions
 // start in |0⟩). One engine runs any number of shots via RunShot; engines
 // are not safe for concurrent use, but any number of engines may share one
-// Program.
+// Program. The stabilizer state is the bit-sliced tableau.Sliced: shot
+// outcomes are bit-identical to the row-major engine's
+// (NewFromProgramRowMajor) for every seed, just faster.
 func NewFromProgram(p *Program) *Engine {
+	src := &shotSource{}
+	rng := rand.New(src)
+	return &Engine{
+		prog:   p,
+		tb:     tableau.NewSliced(p.n, rng),
+		src:    src,
+		rng:    rng,
+		weight: 1,
+	}
+}
+
+// NewFromProgramRowMajor is NewFromProgram on the row-major tableau.T state:
+// the reference engine for differential cross-validation of the bit-sliced
+// transpose (and a fallback while comparing representations).
+func NewFromProgramRowMajor(p *Program) *Engine {
 	src := &shotSource{}
 	rng := rand.New(src)
 	return &Engine{
@@ -285,8 +302,9 @@ func (e *Engine) SignedExpectation(op SitePauli, neg bool) (float64, error) {
 }
 
 // Tableau exposes the underlying stabilizer state (for layer-by-layer
-// verification in the style of paper Sec 4.3).
-func (e *Engine) Tableau() *tableau.T { return e.tb }
+// verification in the style of paper Sec 4.3 and for the noise subsystem's
+// Pauli frame updates).
+func (e *Engine) Tableau() tableau.State { return e.tb }
 
 // RunOnce compiles a circuit and runs a single shot; convenience
 // constructor used throughout verification. For repeated shots of the same

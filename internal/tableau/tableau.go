@@ -615,8 +615,9 @@ func (t *T) StabilizerStrings() []*pauli.String {
 // StabilizerSym returns the symbolic sign expression of stabilizer row i.
 func (t *T) StabilizerSym(i int) expr.Expr { return t.stab[i].Sym }
 
-// CheckInvariants panics if the tableau violates its structural invariants
-// (destabilizer/stabilizer pairing and mutual commutation). Used in tests.
+// CheckInvariants returns an error if the tableau violates its structural
+// invariants (destabilizer/stabilizer pairing and mutual commutation).
+// Used in tests.
 func (t *T) CheckInvariants() error {
 	for i := 0; i < t.n; i++ {
 		pi := t.stab[i].Pauli(t.n)
