@@ -14,6 +14,7 @@ import (
 	"tiscc/internal/circuit"
 	"tiscc/internal/core"
 	"tiscc/internal/decoder"
+	"tiscc/internal/frame"
 	"tiscc/internal/hardware"
 	"tiscc/internal/instr"
 	"tiscc/internal/noise"
@@ -794,5 +795,25 @@ func BenchmarkShotEngines(b *testing.B) {
 				}
 			})
 		}
+		b.Run(fmt.Sprintf("d=%d/frame", d), func(b *testing.B) {
+			sim, err := frame.New(mem.Prog, sched)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bt := sim.NewBatch()
+			b.ReportAllocs()
+			b.ResetTimer()
+			// One iteration = one shot, amortized over 64-lane batches; the
+			// same ShotSeed(1, i) stream as the tableau engines above.
+			for i := 0; i < b.N; i++ {
+				if i%64 == 0 {
+					n := b.N - i
+					if n > 64 {
+						n = 64
+					}
+					bt.Run(i, n, 1)
+				}
+			}
+		})
 	}
 }

@@ -7,9 +7,9 @@
 //
 // Usage:
 //
-//	orqcs -circuit file.tiscc [-seed 1] [-shots 1] [-workers 0] [-expect "Z@0.2,X@4.6"] [-noise p] [-fuse]
-//	orqcs -memory d[:rounds] [-noise p] [-decode] [-shots N] [-dem file.dem]
-//	orqcs -surgery d[:rounds] [-noise p] [-decode] [-shots N] [-dem file.dem]
+//	orqcs -circuit file.tiscc [-seed 1] [-shots 1] [-workers 0] [-expect "Z@0.2,X@4.6"] [-noise p] [-fuse] [-engine frame]
+//	orqcs -memory d[:rounds] [-noise p] [-decode] [-shots N] [-dem file.dem] [-engine frame]
+//	orqcs -surgery d[:rounds] [-noise p] [-decode] [-shots N] [-dem file.dem] [-engine frame]
 //
 // The circuit is compiled once into a lowered program; multi-shot estimates
 // then run on a deterministic parallel worker pool (results depend only on
@@ -28,6 +28,11 @@
 // estimated quantity is the joint-parity error (final Z̄Z̄ readout against
 // the merge outcome), with detectors stitched across the merge and split
 // boundaries; rounds counts the merged-phase rounds (default d).
+//
+// -engine selects the multi-shot sampling engine: the batch Pauli-frame
+// sampler (frame, the default — bit-identical records, O(faults) per shot),
+// the bit-sliced tableau (sliced) or the row-major reference tableau
+// (rowmajor). Non-Clifford circuits fall back to the tableau engines.
 package main
 
 import (
@@ -42,6 +47,7 @@ import (
 	"tiscc/internal/circuit"
 	"tiscc/internal/decoder"
 	"tiscc/internal/expr"
+	"tiscc/internal/frame"
 	"tiscc/internal/grid"
 	"tiscc/internal/noise"
 	"tiscc/internal/orqcs"
@@ -63,6 +69,7 @@ func main() {
 		surgery = flag.String("surgery", "", "run a two-patch ZZ-merge/split cycle instead of a circuit file: d or d:rounds")
 		decode  = flag.Bool("decode", false, "with -memory/-surgery -noise: union-find-decode each shot's syndrome history")
 		demFile = flag.String("dem", "", "with -memory/-surgery: write the Stim-compatible detector error model to this file")
+		engine  = flag.String("engine", "frame", "multi-shot sampling engine: frame (Pauli-frame, default), sliced (bit-sliced tableau), rowmajor (row-major reference tableau)")
 	)
 	flag.Parse()
 	if *memory != "" && *surgery != "" {
@@ -80,12 +87,15 @@ func main() {
 	if *workers < 0 {
 		usageErr(fmt.Sprintf("-workers must be ≥ 0 (0 = GOMAXPROCS), got %d", *workers))
 	}
+	if err := validateEngine(*engine); err != nil {
+		usageErr(err.Error())
+	}
 	if *memory != "" {
-		runMemory(*memory, *noiseP, *decode, *demFile, *shots, *seed, *workers, *fuse)
+		runMemory(*memory, *noiseP, *decode, *demFile, *shots, *seed, *workers, *fuse, *engine)
 		return
 	}
 	if *surgery != "" {
-		runSurgery(*surgery, *noiseP, *decode, *demFile, *shots, *seed, *workers, *fuse)
+		runSurgery(*surgery, *noiseP, *decode, *demFile, *shots, *seed, *workers, *fuse, *engine)
 		return
 	}
 	if *file == "" {
@@ -123,17 +133,9 @@ func main() {
 	}
 
 	if *shots > 1 && len(op) > 0 {
-		var mean, stderr float64
-		if sched != nil {
-			means, stderrs, err := sched.EstimateMany([]orqcs.SitePauli{op}, *shots, *seed, *workers)
-			if err != nil {
-				fatal(err)
-			}
-			mean, stderr = means[0], stderrs[0]
-		} else {
-			if mean, stderr, err = orqcs.EstimateBatch(prog, op, *shots, *seed, *workers); err != nil {
-				fatal(err)
-			}
+		mean, stderr, err := estimateOp(prog, sched, op, *shots, *seed, *workers, *engine)
+		if err != nil {
+			fatal(err)
 		}
 		label := ""
 		if sched != nil {
@@ -145,6 +147,9 @@ func main() {
 	}
 
 	eng := orqcs.NewFromProgram(prog)
+	if *engine == "rowmajor" {
+		eng = orqcs.NewFromProgramRowMajor(prog)
+	}
 	if sched != nil {
 		sched.RunShot(eng, *seed)
 	} else {
@@ -200,6 +205,54 @@ func parseDSpec(flagName, spec string) (d, rounds int, err error) {
 	return d, rounds, nil
 }
 
+// validateEngine checks the -engine selection names a known sampler.
+func validateEngine(engine string) error {
+	switch engine {
+	case "frame", "sliced", "rowmajor":
+		return nil
+	}
+	return fmt.Errorf("-engine must be frame, sliced or rowmajor, got %q", engine)
+}
+
+// estimateOp estimates one Pauli operator over a multi-shot run on the
+// selected engine. The Pauli-frame engine is the default for Clifford
+// programs (bit-identical to the tableaus, orders of magnitude faster on
+// noisy shots); non-Clifford programs need the tableaus' quasi-probability
+// T branches and fall back to the bit-sliced engine.
+func estimateOp(prog *orqcs.Program, sched *noise.Schedule, op orqcs.SitePauli, shots int, seed int64, workers int, engine string) (mean, stderr float64, err error) {
+	if engine == "frame" && !prog.Clifford() {
+		fmt.Fprintf(os.Stderr, "orqcs: %d T gates: falling back to the bit-sliced tableau engine\n", prog.NumTGates())
+		engine = "sliced"
+	}
+	switch engine {
+	case "frame":
+		sim, err := frame.New(prog, sched)
+		if err != nil {
+			return 0, 0, err
+		}
+		return sim.EstimateBatch(op, shots, seed, workers)
+	case "rowmajor":
+		var run orqcs.ShotFunc
+		if sched != nil {
+			run = sched.RunShot
+		}
+		means, stderrs, err := orqcs.EstimateManyEngines(prog, orqcs.NewFromProgramRowMajor, run,
+			[]orqcs.SitePauli{op}, shots, seed, workers)
+		if err != nil {
+			return 0, 0, err
+		}
+		return means[0], stderrs[0], nil
+	}
+	if sched != nil {
+		means, stderrs, err := sched.EstimateMany([]orqcs.SitePauli{op}, shots, seed, workers)
+		if err != nil {
+			return 0, 0, err
+		}
+		return means[0], stderrs[0], nil
+	}
+	return orqcs.EstimateBatch(prog, op, shots, seed, workers)
+}
+
 // validateProb checks a probability flag lies in [0, 1].
 func validateProb(name string, p float64) error {
 	if math.IsNaN(p) || p < 0 || p > 1 {
@@ -235,7 +288,7 @@ type experiment struct {
 
 // runMemory compiles a distance-d memory experiment and hands it to the
 // shared estimation pipeline.
-func runMemory(spec string, noiseP float64, decode bool, demFile string, shots int, seed int64, workers int, fuse bool) {
+func runMemory(spec string, noiseP float64, decode bool, demFile string, shots int, seed int64, workers int, fuse bool, engine string) {
 	d, rounds, err := parseDSpec("memory", spec)
 	if err != nil {
 		usageErr(err.Error())
@@ -257,13 +310,13 @@ func runMemory(spec string, noiseP float64, decode bool, demFile string, shots i
 		reference: mem.Reference,
 		extract:   func() (*decoder.Detectors, error) { return decoder.Extract(mem) },
 		rawLabel:  "raw readout",
-	}, noiseP, decode, demFile, shots, seed, workers)
+	}, noiseP, decode, demFile, shots, seed, workers, engine)
 }
 
 // runSurgery compiles a distance-d two-patch ZZ-merge/split cycle and hands
 // it to the shared estimation pipeline; the estimated quantity is the joint
 // parity (final Z̄Z̄ readout against the merge outcome).
-func runSurgery(spec string, noiseP float64, decode bool, demFile string, shots int, seed int64, workers int, fuse bool) {
+func runSurgery(spec string, noiseP float64, decode bool, demFile string, shots int, seed int64, workers int, fuse bool, engine string) {
 	d, rounds, err := parseDSpec("surgery", spec)
 	if err != nil {
 		usageErr(err.Error())
@@ -283,13 +336,13 @@ func runSurgery(spec string, noiseP float64, decode bool, demFile string, shots 
 		reference: s.Reference,
 		extract:   func() (*decoder.Detectors, error) { return decoder.ExtractSurgery(s) },
 		rawLabel:  "raw joint-parity readout",
-	}, noiseP, decode, demFile, shots, seed, workers)
+	}, noiseP, decode, demFile, shots, seed, workers, engine)
 }
 
 // runExperiment is the common tail of -memory and -surgery: write the
 // detector error model if requested, then estimate the (optionally
 // union-find-decoded) logical error rate under depolarizing noise.
-func runExperiment(e experiment, noiseP float64, decode bool, demFile string, shots int, seed int64, workers int) {
+func runExperiment(e experiment, noiseP float64, decode bool, demFile string, shots int, seed int64, workers int, engine string) {
 	m := noise.Depolarizing(noiseP)
 	if err := m.Validate(); err != nil {
 		fatal(err)
@@ -326,6 +379,19 @@ func runExperiment(e experiment, noiseP float64, decode bool, demFile string, sh
 		return
 	}
 	opt := noise.Options{Shots: shots, Seed: seed, Workers: workers}
+	// Engine selection: all three samplers produce bit-identical records per
+	// (seed, shot), so the estimate is the same — the Pauli-frame default is
+	// purely a throughput choice.
+	switch engine {
+	case "frame":
+		sim, err := frame.New(e.prog, sched)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Sampler = sim
+	case "rowmajor":
+		opt.Sampler = noise.EngineSampler{S: sched, RowMajor: true}
+	}
 	label := e.rawLabel
 	if decode {
 		g, err := decoder.CompileGraph(dets, sched)

@@ -61,6 +61,19 @@ func TestValidateShots(t *testing.T) {
 	}
 }
 
+func TestValidateEngine(t *testing.T) {
+	for _, e := range []string{"frame", "sliced", "rowmajor"} {
+		if err := validateEngine(e); err != nil {
+			t.Fatalf("validateEngine(%q): %v", e, err)
+		}
+	}
+	for _, e := range []string{"", "stim", "Frame"} {
+		if err := validateEngine(e); err == nil {
+			t.Fatalf("validateEngine(%q) accepted an unknown engine", e)
+		}
+	}
+}
+
 // TestCLIErrorPaths re-executes the test binary as the orqcs CLI with
 // invalid flags and asserts each run exits with a usage error (status 2,
 // "orqcs:" message) rather than an internal panic with a stack trace.
@@ -86,6 +99,7 @@ func TestCLIErrorPaths(t *testing.T) {
 		{"noise-negative", []string{"-memory", "3", "-noise", "-0.25"}, "probability in [0, 1]"},
 		{"zero-shots", []string{"-memory", "3", "-shots", "0"}, "-shots must be ≥ 1"},
 		{"negative-workers", []string{"-memory", "3", "-workers", "-2"}, "-workers must be ≥ 0"},
+		{"bad-engine", []string{"-memory", "3", "-engine", "stim"}, "-engine must be frame, sliced or rowmajor"},
 		{"both-experiments", []string{"-memory", "3", "-surgery", "3"}, "mutually exclusive"},
 		{"nothing", []string{}, "is required"},
 	}

@@ -12,13 +12,14 @@
 //	tiscc-bench -figure 1 | 2 | 3 | 4 | 6
 //	tiscc-bench -resources [-dlist 3,5,7,9,11,13]
 //	tiscc-bench -verify
-//	tiscc-bench -simbench [-d 5] [-shots 200]
-//	tiscc-bench -noise [-dlist 3,5] [-plist 1e-4,...] [-rounds 0] [-shots N] [-model depolarizing|table5] [-seed 1]
+//	tiscc-bench -simbench [-d 5] [-shots 200] [-json]
+//	tiscc-bench -noise [-dlist 3,5] [-plist 1e-4,...] [-rounds 0] [-shots N] [-model depolarizing|table5] [-seed 1] [-workers 0] [-engine frame]
 //	tiscc-bench -noise -decode ...  (adds union-find syndrome decoding: p-vs-p_L threshold sweeps)
 //	tiscc-bench -noise -surgery ... (sweeps two-patch ZZ-merge/split cycles instead of idle memory)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -32,6 +33,7 @@ import (
 	"tiscc/internal/core"
 	"tiscc/internal/decoder"
 	"tiscc/internal/expr"
+	"tiscc/internal/frame"
 	"tiscc/internal/hardware"
 	"tiscc/internal/instr"
 	"tiscc/internal/noise"
@@ -59,6 +61,9 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base seed for the -noise sweep (output is deterministic per seed)")
 		decode  = flag.Bool("decode", false, "with -noise (memory or -surgery sweeps): union-find-decode each shot's syndrome history")
 		surgery = flag.Bool("surgery", false, "with -noise: sweep two-patch ZZ-merge/split cycles (joint-parity error) instead of idle memory")
+		workers = flag.Int("workers", 0, "worker goroutines for the -noise sweep (0 = all cores)")
+		engine  = flag.String("engine", "frame", "sampling engine for the -noise sweep: frame (Pauli-frame, default), sliced (bit-sliced tableau) or rowmajor (row-major reference tableau)")
+		jsonOut = flag.Bool("json", false, "with -simbench: emit benchmark results as JSON (per-benchmark shots/sec, allocs/shot, engine) instead of the table")
 	)
 	flag.Parse()
 	// Validate every numeric flag up front: invalid inputs exit with a usage
@@ -72,6 +77,15 @@ func main() {
 	}
 	if *rounds < 0 {
 		usageErr(fmt.Sprintf("-rounds must be ≥ 0 (0 = use the code distance), got %d", *rounds))
+	}
+	if *workers < 0 {
+		usageErr(fmt.Sprintf("-workers must be ≥ 0 (0 = all cores), got %d", *workers))
+	}
+	if err := validateEngine(*engine); err != nil {
+		usageErr(err.Error())
+	}
+	if *jsonOut && !*sim {
+		usageErr("-json requires -simbench")
 	}
 	dlistVals, err := parseInts(*dlist)
 	if err != nil {
@@ -120,7 +134,7 @@ func main() {
 		did = true
 	}
 	if *sim {
-		runSimBench(*d, *shots)
+		runSimBench(*d, *shots, *jsonOut)
 		did = true
 	}
 	if *noisy {
@@ -135,7 +149,7 @@ func main() {
 				nshots = *shots
 			}
 		})
-		runNoiseSweep(ds, plistVals, *rounds, nshots, *seed, *model, *decode, *surgery)
+		runNoiseSweep(ds, plistVals, *rounds, nshots, *seed, *workers, *model, *engine, *decode, *surgery)
 		did = true
 	}
 	if !did {
@@ -158,6 +172,15 @@ func usageErr(msg string) {
 	os.Exit(2)
 }
 
+// validateEngine checks the -engine selection names a known sampler.
+func validateEngine(engine string) error {
+	switch engine {
+	case "frame", "sliced", "rowmajor":
+		return nil
+	}
+	return fmt.Errorf("-engine must be frame, sliced or rowmajor, got %q", engine)
+}
+
 // runNoiseSweep estimates logical error rates across code distances and
 // physical error rates. The default workload is the memory experiment: |0̄⟩
 // prepared transversally, idled for `rounds` cycles of syndrome extraction
@@ -168,7 +191,7 @@ func usageErr(msg string) {
 // when decode is set, raw readout otherwise — is compared against the
 // noiseless reference. Output is deterministic for a fixed seed, regardless
 // of worker count or machine.
-func runNoiseSweep(ds []int, ps []float64, rounds, shots int, seed int64, model string, decode, surgery bool) {
+func runNoiseSweep(ds []int, ps []float64, rounds, shots int, seed int64, workers int, model, engine string, decode, surgery bool) {
 	if model != "depolarizing" && model != "table5" {
 		fmt.Fprintf(os.Stderr, "noise sweep: unknown -model %q (want depolarizing or table5)\n", model)
 		os.Exit(2)
@@ -186,7 +209,7 @@ func runNoiseSweep(ds []int, ps []float64, rounds, shots int, seed int64, model 
 	if decode {
 		mode = "union-find decoded syndrome history"
 	}
-	fmt.Printf("model=%s, shots=%d/point, seed=%d (%s)\n", model, shots, seed, mode)
+	fmt.Printf("model=%s, shots=%d/point, seed=%d, engine=%s (%s)\n", model, shots, seed, engine, mode)
 	for _, d := range ds {
 		r := rounds
 		if r <= 0 {
@@ -241,7 +264,18 @@ func runNoiseSweep(ds []int, ps []float64, rounds, shots int, seed int64, model 
 				return
 			}
 			sched := noise.Compile(m, prog)
-			opt := noise.Options{Shots: shots, Seed: seed}
+			opt := noise.Options{Shots: shots, Seed: seed, Workers: workers}
+			switch engine {
+			case "frame":
+				sim, err := frame.New(prog, sched)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "noise sweep:", err)
+					return
+				}
+				opt.Sampler = sim
+			case "rowmajor":
+				opt.Sampler = noise.EngineSampler{S: sched, RowMajor: true}
+			}
 			if decode {
 				g, err := decoder.CompileGraph(dets, sched)
 				if err != nil {
@@ -278,11 +312,50 @@ func parseFloats(s string) ([]float64, error) {
 	return out, nil
 }
 
+// benchRecord is one benchmark measurement. Under -json the -simbench run
+// emits an array of these instead of the human-readable table.
+type benchRecord struct {
+	Name          string  `json:"name"`
+	Engine        string  `json:"engine"`
+	D             int     `json:"d"`
+	Shots         int     `json:"shots"`
+	Seconds       float64 `json:"seconds"`
+	ShotsPerSec   float64 `json:"shots_per_sec"`
+	AllocsPerShot float64 `json:"allocs_per_shot"`
+}
+
+// duration converts the record's wall-clock back to a time.Duration for the
+// human-readable table.
+func (r benchRecord) duration() time.Duration {
+	return time.Duration(r.Seconds * float64(time.Second))
+}
+
+// timeShots runs fn once over `shots` shots, measuring wall-clock time and
+// the heap-allocation count delta (runtime.MemStats.Mallocs) per shot.
+func timeShots(name, engine string, d, shots int, fn func()) benchRecord {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	fn()
+	el := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	return benchRecord{
+		Name: name, Engine: engine, D: d, Shots: shots,
+		Seconds:       el.Seconds(),
+		ShotsPerSec:   float64(shots) / el.Seconds(),
+		AllocsPerShot: float64(m1.Mallocs-m0.Mallocs) / float64(shots),
+	}
+}
+
 // runSimBench times the Monte-Carlo verification hot path (a d×d T-state
 // injection estimated over N shots) on the legacy per-shot RunOnce loop and
-// on the compile-once/run-many batch runner, and prints the speedup.
-func runSimBench(d, shots int) {
-	fmt.Printf("== Simulation throughput: compiled program vs legacy (d=%d, %d shots) ==\n", d, shots)
+// on the compile-once/run-many batch runner, and prints the speedup. With
+// jsonOut the measurements are emitted as a JSON array instead.
+func runSimBench(d, shots int, jsonOut bool) {
+	if !jsonOut {
+		fmt.Printf("== Simulation throughput: compiled program vs legacy (d=%d, %d shots) ==\n", d, shots)
+	}
 	c := core.NewCompiler(d+8, d+7, hardware.Default())
 	lq, err := c.NewLogicalQubit(d, d, core.Cell{R: 1, C: 2})
 	if err != nil {
@@ -293,26 +366,35 @@ func runSimBench(d, shots int) {
 	site, _ := c.SitePauli(lq.GeoRep(core.LogicalX))
 	circ := c.Build()
 
-	t0 := time.Now()
+	var recs []benchRecord
 	var sum float64
-	for s := 0; s < shots; s++ {
-		eng, err := orqcs.RunOnce(circ, int64(s)*7919+1)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "simbench:", err)
-			return
+	var runErr error
+	legacy := timeShots("legacy RunOnce loop", "sliced", d, shots, func() {
+		for s := 0; s < shots; s++ {
+			eng, err := orqcs.RunOnce(circ, int64(s)*7919+1)
+			if err != nil {
+				runErr = err
+				return
+			}
+			v, err := eng.Expectation(site)
+			if err != nil {
+				runErr = err
+				return
+			}
+			sum += eng.Weight() * v
 		}
-		v, err := eng.Expectation(site)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "simbench:", err)
-			return
-		}
-		sum += eng.Weight() * v
+	})
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", runErr)
+		return
 	}
-	legacy := time.Since(t0)
-	fmt.Printf("  legacy per-shot RunOnce loop   %10v  (%.0f shots/s, mean %.4f)\n",
-		legacy, float64(shots)/legacy.Seconds(), sum/float64(shots))
+	recs = append(recs, legacy)
+	if !jsonOut {
+		fmt.Printf("  legacy per-shot RunOnce loop   %10v  (%.0f shots/s, mean %.4f)\n",
+			legacy.duration(), legacy.ShotsPerSec, sum/float64(shots))
+	}
 
-	t0 = time.Now()
+	t0 := time.Now()
 	prog, err := orqcs.Compile(circ)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simbench:", err)
@@ -320,68 +402,106 @@ func runSimBench(d, shots int) {
 	}
 	compileTime := time.Since(t0)
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
-		t0 = time.Now()
-		mean, stderr, err := orqcs.EstimateBatch(prog, site, shots, 1, workers)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "simbench:", err)
+		var mean, stderr float64
+		rec := timeShots(fmt.Sprintf("EstimateBatch workers=%d", workers), "sliced", d, shots, func() {
+			mean, stderr, runErr = orqcs.EstimateBatch(prog, site, shots, 1, workers)
+		})
+		if runErr != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", runErr)
 			return
 		}
-		el := time.Since(t0)
-		fmt.Printf("  EstimateBatch (%d worker(s))    %10v  (%.0f shots/s, mean %.4f ± %.4f, %.1f× legacy)\n",
-			workers, el, float64(shots)/el.Seconds(), mean, stderr, legacy.Seconds()/el.Seconds())
+		recs = append(recs, rec)
+		if !jsonOut {
+			fmt.Printf("  EstimateBatch (%d worker(s))    %10v  (%.0f shots/s, mean %.4f ± %.4f, %.1f× legacy)\n",
+				workers, rec.duration(), rec.ShotsPerSec, mean, stderr, legacy.Seconds/rec.Seconds)
+		}
 	}
-	fmt.Printf("  one-time Compile: %v, %d instructions, %d qubits, %d T gates\n",
-		compileTime, prog.NumInstrs(), prog.NumQubits(), prog.NumTGates())
+	if !jsonOut {
+		fmt.Printf("  one-time Compile: %v, %d instructions, %d qubits, %d T gates\n",
+			compileTime, prog.NumInstrs(), prog.NumQubits(), prog.NumTGates())
+	}
 
 	// Fault-injection overhead: the noisy per-shot loop (depolarizing
 	// p=1e-3 schedule interleaved with the instruction stream) against the
 	// noiseless loop on the same engine. The acceptance target is ≤ 2×.
 	eng := orqcs.NewFromProgram(prog)
-	t0 = time.Now()
-	for s := 0; s < shots; s++ {
-		eng.RunShot(orqcs.ShotSeed(1, s))
-	}
-	clean := time.Since(t0)
+	clean := timeShots("noiseless RunShot loop", "sliced", d, shots, func() {
+		for s := 0; s < shots; s++ {
+			eng.RunShot(orqcs.ShotSeed(1, s))
+		}
+	})
 	sched := noise.Compile(noise.Depolarizing(1e-3), prog)
-	t0 = time.Now()
-	for s := 0; s < shots; s++ {
-		sched.RunShot(eng, orqcs.ShotSeed(1, s))
+	noisy := timeShots("noisy RunShot loop p=1e-3", "sliced", d, shots, func() {
+		for s := 0; s < shots; s++ {
+			sched.RunShot(eng, orqcs.ShotSeed(1, s))
+		}
+	})
+	recs = append(recs, clean, noisy)
+	if !jsonOut {
+		fmt.Printf("  noiseless RunShot loop         %10v  (%.0f shots/s)\n",
+			clean.duration(), clean.ShotsPerSec)
+		fmt.Printf("  noisy RunShot loop (p=1e-3)    %10v  (%.0f shots/s, %.2f× noiseless, %d fault sites)\n",
+			noisy.duration(), noisy.ShotsPerSec, noisy.Seconds/clean.Seconds, sched.NumFaultSites())
 	}
-	noisyEl := time.Since(t0)
-	fmt.Printf("  noiseless RunShot loop         %10v  (%.0f shots/s)\n",
-		clean, float64(shots)/clean.Seconds())
-	fmt.Printf("  noisy RunShot loop (p=1e-3)    %10v  (%.0f shots/s, %.2f× noiseless, %d fault sites)\n",
-		noisyEl, float64(shots)/noisyEl.Seconds(), noisyEl.Seconds()/clean.Seconds(), sched.NumFaultSites())
 
-	// Tableau representation: the bit-sliced (column-major) engine against
-	// the row-major reference on a noisy memory-experiment workload. Both
-	// produce bit-identical records per seed; only throughput differs.
-	runEngineBench(d, shots)
+	// Engine comparison: the row-major reference, the bit-sliced tableau
+	// and the batch Pauli-frame sampler on a noisy memory-experiment
+	// workload. All three produce bit-identical records per seed; only
+	// throughput (and allocation behaviour) differs.
+	recs = append(recs, runEngineBench(d, shots, jsonOut)...)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(recs); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+		}
+		return
+	}
 	fmt.Println()
 }
 
-// runEngineBench times noisy memory-experiment shots on the row-major and
-// bit-sliced engines and prints the transpose speedup.
-func runEngineBench(d, shots int) {
+// runEngineBench times noisy memory-experiment shots on the row-major,
+// bit-sliced and Pauli-frame engines and prints the relative speedups.
+func runEngineBench(d, shots int, jsonOut bool) []benchRecord {
 	mem, err := verify.MemoryExperiment(d, d, pauli.Z)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simbench:", err)
-		return
+		return nil
 	}
 	sched := noise.Compile(noise.Depolarizing(1e-3), mem.Prog)
-	time1 := func(e *orqcs.Engine) time.Duration {
-		t0 := time.Now()
-		for s := 0; s < shots; s++ {
-			sched.RunShot(e, orqcs.ShotSeed(1, s))
-		}
-		return time.Since(t0)
+	bench1 := func(engine string, e *orqcs.Engine) benchRecord {
+		return timeShots("noisy memory", engine, d, shots, func() {
+			for s := 0; s < shots; s++ {
+				sched.RunShot(e, orqcs.ShotSeed(1, s))
+			}
+		})
 	}
-	rm := time1(orqcs.NewFromProgramRowMajor(mem.Prog))
-	sl := time1(orqcs.NewFromProgram(mem.Prog))
-	fmt.Printf("  row-major noisy memory (d=%d)   %10v  (%.0f shots/s)\n",
-		d, rm, float64(shots)/rm.Seconds())
-	fmt.Printf("  bit-sliced noisy memory (d=%d)  %10v  (%.0f shots/s, %.2f× row-major)\n",
-		d, sl, float64(shots)/sl.Seconds(), rm.Seconds()/sl.Seconds())
+	rm := bench1("rowmajor", orqcs.NewFromProgramRowMajor(mem.Prog))
+	sl := bench1("sliced", orqcs.NewFromProgram(mem.Prog))
+	sim, err := frame.New(mem.Prog, sched)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		return []benchRecord{rm, sl}
+	}
+	bt := sim.NewBatch()
+	fr := timeShots("noisy memory", "frame", d, shots, func() {
+		for s := 0; s < shots; s += 64 {
+			n := shots - s
+			if n > 64 {
+				n = 64
+			}
+			bt.Run(s, n, 1)
+		}
+	})
+	if !jsonOut {
+		fmt.Printf("  row-major noisy memory (d=%d)   %10v  (%.0f shots/s)\n",
+			d, rm.duration(), rm.ShotsPerSec)
+		fmt.Printf("  bit-sliced noisy memory (d=%d)  %10v  (%.0f shots/s, %.2f× row-major)\n",
+			d, sl.duration(), sl.ShotsPerSec, rm.Seconds/sl.Seconds)
+		fmt.Printf("  Pauli-frame noisy memory (d=%d) %10v  (%.0f shots/s, %.1f× bit-sliced, %.2f allocs/shot)\n",
+			d, fr.duration(), fr.ShotsPerSec, sl.Seconds/fr.Seconds, fr.AllocsPerShot)
+	}
+	return []benchRecord{rm, sl, fr}
 }
 
 func parseInts(s string) ([]int, error) {

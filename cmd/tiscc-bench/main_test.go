@@ -51,6 +51,19 @@ func TestValidateDistance(t *testing.T) {
 	}
 }
 
+func TestValidateEngine(t *testing.T) {
+	for _, e := range []string{"frame", "sliced", "rowmajor"} {
+		if err := validateEngine(e); err != nil {
+			t.Fatalf("validateEngine(%q): %v", e, err)
+		}
+	}
+	for _, e := range []string{"", "stim", "FRAME", "bitsliced"} {
+		if err := validateEngine(e); err == nil {
+			t.Fatalf("validateEngine(%q) accepted an unknown engine", e)
+		}
+	}
+}
+
 // TestCLIErrorPaths re-executes the test binary as the tiscc-bench CLI with
 // invalid flags and asserts each run exits with a usage error (status 2)
 // rather than an internal panic with a stack trace.
@@ -75,6 +88,9 @@ func TestCLIErrorPaths(t *testing.T) {
 		{"plist-negative", []string{"-noise", "-plist", "-0.2"}, "not a probability"},
 		{"negative-rounds", []string{"-noise", "-rounds", "-1"}, "-rounds must be ≥ 0"},
 		{"zero-shots", []string{"-noise", "-shots", "0"}, "-shots must be ≥ 1"},
+		{"negative-workers", []string{"-noise", "-workers", "-1"}, "-workers must be ≥ 0"},
+		{"bad-engine", []string{"-noise", "-engine", "stim"}, "-engine must be frame, sliced or rowmajor"},
+		{"json-without-simbench", []string{"-noise", "-json"}, "-json requires -simbench"},
 	}
 	for _, tc := range cases {
 		tc := tc

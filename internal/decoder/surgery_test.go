@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"tiscc/internal/core"
+	"tiscc/internal/frame"
 	"tiscc/internal/hardware"
 	"tiscc/internal/noise"
 	"tiscc/internal/orqcs"
@@ -273,6 +274,23 @@ func TestSurgeryDeterminismMatrix(t *testing.T) {
 				ref = res
 			} else if res != ref {
 				t.Fatalf("seed %d workers=%d: %+v differs from single-worker %+v", seed, workers, res, ref)
+			}
+		}
+		// The Pauli-frame engine (the CLIs' default noisy sampler) must land
+		// on the very same pinned expectations: records are bit-identical,
+		// so the decoded estimate is too, at every worker count.
+		sim, err := frame.New(s.Prog, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			res, err := noise.EstimateLogicalError(sched, s.Outcome, s.Reference,
+				noise.Options{Shots: 1500, Seed: seed, Workers: workers, Decoder: g, Sampler: sim})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res != ref {
+				t.Fatalf("seed %d workers=%d: frame-engine %+v differs from tableau %+v", seed, workers, res, ref)
 			}
 		}
 		golden := filepath.Join("testdata", fmt.Sprintf("decoded_surgery_d3_seed%d.golden", seed))

@@ -32,6 +32,40 @@ type Options struct {
 	// decoder (internal/decoder's union-find matching) plugs into the
 	// estimator without this package importing it.
 	Decoder Decoder
+	// Sampler, when non-nil, replaces the tableau shot loop as the source of
+	// per-shot record tables. This is how the Pauli-frame engine
+	// (internal/frame, bit-identical records at a fraction of the cost)
+	// plugs into the estimator without this package importing it; it must
+	// have been compiled against the same schedule.
+	Sampler RecordSampler
+}
+
+// RecordSampler produces the record tables of noisy shots without exposing
+// an engine. The contract mirrors orqcs.RunShotsRange: shot i's records
+// derive from orqcs.ShotSeed(seed, i) for any worker count; visit may be
+// called concurrently for distinct shots; the map is only valid during the
+// call; a non-nil visit error stops the run and is returned.
+type RecordSampler interface {
+	SampleRecords(shots int, seed int64, workers int, visit func(shot int, records map[int32]bool) error) error
+}
+
+// EngineSampler adapts the tableau shot loop to the RecordSampler contract,
+// so engine selection stays uniform for callers that switch between the
+// frame engine and a tableau reference. RowMajor selects the row-major
+// tableau.T engine instead of the default bit-sliced one.
+type EngineSampler struct {
+	S        *Schedule
+	RowMajor bool
+}
+
+// SampleRecords implements RecordSampler on the deterministic tableau pool.
+func (es EngineSampler) SampleRecords(shots int, seed int64, workers int, visit func(shot int, records map[int32]bool) error) error {
+	mk := orqcs.NewFromProgram
+	if es.RowMajor {
+		mk = orqcs.NewFromProgramRowMajor
+	}
+	return orqcs.RunShotsEngines(es.S.prog, 0, shots, seed, workers, mk, es.S.RunShot,
+		func(i int, e *orqcs.Engine) error { return visit(i, e.Records()) })
 }
 
 // Decoder turns one noisy shot's measurement-record table into a corrected
@@ -115,15 +149,24 @@ func wilsonStdErr(errors, shots int) float64 {
 // scheduling can change the result. The whole run — early stopping
 // included — uses one worker pool, so engines are allocated once.
 func EstimateLogicalError(s *Schedule, outcome expr.Expr, reference bool, opt Options) (Result, error) {
+	if opt.Shots < 0 {
+		return Result{}, fmt.Errorf("noise: negative shot count %d", opt.Shots)
+	}
+	if opt.Workers < 0 {
+		return Result{}, fmt.Errorf("noise: negative worker count %d", opt.Workers)
+	}
+	if opt.Batch < 0 {
+		return Result{}, fmt.Errorf("noise: negative early-stopping batch %d", opt.Batch)
+	}
 	// judge reports whether one finished shot's logical outcome disagrees
 	// with the noiseless reference: via the decoder when one is configured,
 	// via the raw readout formula otherwise.
-	judge := func(e *orqcs.Engine) bool {
-		return outcome.Eval(e.Records()) != reference
+	judge := func(records map[int32]bool) bool {
+		return outcome.Eval(records) != reference
 	}
 	if opt.Decoder != nil {
-		judge = func(e *orqcs.Engine) bool {
-			return opt.Decoder.DecodeOutcome(e.Records()) != reference
+		judge = func(records map[int32]bool) bool {
+			return opt.Decoder.DecodeOutcome(records) != reference
 		}
 	} else if outcome.HasVirtual() {
 		return Result{}, fmt.Errorf("noise: outcome formula references virtual records: %v", outcome)
@@ -132,30 +175,39 @@ func EstimateLogicalError(s *Schedule, outcome expr.Expr, reference bool, opt Op
 	if shots <= 0 {
 		shots = 1000
 	}
+	// sample drives the configured record source: the frame engine (or any
+	// other RecordSampler) when one is plugged in, the tableau pool
+	// otherwise. Either way shot i's records derive from ShotSeed(Seed, i),
+	// so the estimate cannot depend on the source's batching.
+	sample := func(visit func(shot int, records map[int32]bool) error) error {
+		if opt.Sampler != nil {
+			return opt.Sampler.SampleRecords(shots, opt.Seed, opt.Workers, visit)
+		}
+		return orqcs.RunShotsRange(s.prog, 0, shots, opt.Seed, opt.Workers, s.RunShot,
+			func(i int, e *orqcs.Engine) error { return visit(i, e.Records()) })
+	}
 	if opt.TargetStdErr <= 0 {
 		// No stopping checks: a plain order-independent count suffices.
 		var errCount atomic.Int64
-		err := orqcs.RunShotsRange(s.prog, 0, shots, opt.Seed, opt.Workers, s.RunShot,
-			func(i int, e *orqcs.Engine) error {
-				if judge(e) {
-					errCount.Add(1)
-				}
-				return nil
-			})
+		err := sample(func(i int, records map[int32]bool) error {
+			if judge(records) {
+				errCount.Add(1)
+			}
+			return nil
+		})
 		if err != nil {
 			return Result{}, err
 		}
 		return result(int(errCount.Load()), shots, reference), nil
 	}
 	batch := opt.Batch
-	if batch <= 0 {
+	if batch == 0 {
 		batch = 256
 	}
 	st := &stopFold{batch: batch, target: opt.TargetStdErr, pending: map[int]bool{}}
-	err := orqcs.RunShotsRange(s.prog, 0, shots, opt.Seed, opt.Workers, s.RunShot,
-		func(i int, e *orqcs.Engine) error {
-			return st.add(i, judge(e))
-		})
+	err := sample(func(i int, records map[int32]bool) error {
+		return st.add(i, judge(records))
+	})
 	if err != nil && err != errStop {
 		return Result{}, err
 	}

@@ -2,6 +2,7 @@ package noise
 
 import (
 	"math"
+	"math/bits"
 
 	"tiscc/internal/orqcs"
 	"tiscc/internal/tableau"
@@ -46,6 +47,11 @@ type Schedule struct {
 	model  Model
 	faults []Fault
 	start  []int32 // CSR offsets: slot i is faults[start[i]:start[i+1]]
+	// thresh[k] = faults[k].P · 2⁵³: the firing test u < P on the raw 53-bit
+	// draw, avoiding the uniform's division on the batch sampler's hot path.
+	// Both sides are exact (power-of-two scaling), so the comparison is
+	// bit-equivalent to applySlot's.
+	thresh []float64
 }
 
 // Program returns the program the schedule was compiled against.
@@ -135,6 +141,10 @@ func Compile(m Model, p *orqcs.Program) *Schedule {
 	s.faults = make([]Fault, 0, total)
 	for _, sl := range slots {
 		s.faults = append(s.faults, sl...)
+	}
+	s.thresh = make([]float64, len(s.faults))
+	for i := range s.faults {
+		s.thresh[i] = s.faults[i].P * (1 << 53)
 	}
 	return s
 }
@@ -296,6 +306,87 @@ func (s *Schedule) FiredFaults(seed int64, buf []int32) []int32 {
 		}
 	}
 	return buf
+}
+
+// FaultStreamState returns the initial state of one shot's fault-sampling
+// SplitMix64 stream — the stream RunShot seeds from the same shot seed. Batch
+// samplers (the Pauli-frame engine) seed one lane per shot with this and
+// advance the lanes through SampleSlotBatch.
+func FaultStreamState(shotSeed int64) uint64 { return uint64(shotSeed) ^ noiseSalt }
+
+// SampleSlotBatch samples every fault of one slot for up to 64 concurrent
+// shots, XOR-ing fired Paulis into per-qubit frame bit-planes: bit i of
+// fx[q] / fz[q] is lane i's X / Z frame on tableau qubit q. states[i] is lane
+// i's fault-stream state (seed with FaultStreamState), advanced in place by
+// exactly one draw per fault site, fired or not — the same sequence RunShot
+// draws — so lane i fires exactly the faults FiredFaults reports for its
+// seed, and frame-engine shots stay bit-identical to tableau shots.
+func (s *Schedule) SampleSlotBatch(slot int, states []uint64, fx, fz []uint64) {
+	var raw [64]float64
+	for k := s.start[slot]; k < s.start[slot+1]; k++ {
+		th := s.thresh[k]
+		var fired uint64
+		for i := range states {
+			states[i] += 0x9E3779B97F4A7C15
+			x := states[i]
+			x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+			x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+			x ^= x >> 31
+			if v := float64(x >> 11); v < th {
+				fired |= 1 << uint(i)
+				raw[i] = v
+			}
+		}
+		if fired == 0 {
+			continue
+		}
+		f := &s.faults[k]
+		switch f.Kind {
+		case FaultFlipX:
+			fx[f.Q1] ^= fired
+		case FaultDephase:
+			fz[f.Q1] ^= fired
+		case FaultDepol1:
+			var mx, mz uint64
+			for m := fired; m != 0; m &= m - 1 {
+				i := uint(bits.TrailingZeros64(m))
+				// Reuse the fired draw, exactly as applySlot does.
+				switch branch(raw[i]/(1<<53), f.P, 3) {
+				case 0:
+					mx |= 1 << i // X
+				case 1:
+					mx |= 1 << i // Y
+					mz |= 1 << i
+				default:
+					mz |= 1 << i // Z
+				}
+			}
+			fx[f.Q1] ^= mx
+			fz[f.Q1] ^= mz
+		case FaultDepol2:
+			var mx1, mz1, mx2, mz2 uint64
+			for m := fired; m != 0; m &= m - 1 {
+				i := uint(bits.TrailingZeros64(m))
+				pp := &depol2Table[branch(raw[i]/(1<<53), f.P, 15)]
+				if pp.x1 {
+					mx1 |= 1 << i
+				}
+				if pp.z1 {
+					mz1 |= 1 << i
+				}
+				if pp.x2 {
+					mx2 |= 1 << i
+				}
+				if pp.z2 {
+					mz2 |= 1 << i
+				}
+			}
+			fx[f.Q1] ^= mx1
+			fz[f.Q1] ^= mz1
+			fx[f.Q2] ^= mx2
+			fz[f.Q2] ^= mz2
+		}
+	}
 }
 
 // RunShots executes noisy shots across the deterministic worker pool:

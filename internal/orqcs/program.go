@@ -378,6 +378,13 @@ func RunShots(p *Program, shots int, seed int64, workers int, visit func(shot in
 // noiseless Engine.RunShot as the per-shot executor (fault injection hooks
 // in here).
 func RunShotsRange(p *Program, first, count int, seed int64, workers int, run ShotFunc, visit func(shot int, e *Engine) error) error {
+	return RunShotsEngines(p, first, count, seed, workers, NewFromProgram, run, visit)
+}
+
+// RunShotsEngines is RunShotsRange with a pluggable per-worker engine
+// constructor (NewFromProgram or NewFromProgramRowMajor), so engine selection
+// composes with the deterministic pool instead of forking it.
+func RunShotsEngines(p *Program, first, count int, seed int64, workers int, mk func(*Program) *Engine, run ShotFunc, visit func(shot int, e *Engine) error) error {
 	if count <= 0 {
 		return nil
 	}
@@ -395,7 +402,7 @@ func RunShotsRange(p *Program, first, count int, seed int64, workers int, run Sh
 		}
 	}
 	if workers == 1 {
-		e := NewFromProgram(p)
+		e := mk(p)
 		for i := first; i < first+count; i++ {
 			oneShot(e, i)
 			if visit != nil {
@@ -417,7 +424,7 @@ func RunShotsRange(p *Program, first, count int, seed int64, workers int, run Sh
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			e := NewFromProgram(p)
+			e := mk(p)
 			for !stop.Load() {
 				i := first + int(next.Add(1)) - 1
 				if i >= first+count {
@@ -540,6 +547,30 @@ func (st *streamStats) meanStderr(j int) (mean, stderr float64) {
 	return mean, stderr
 }
 
+// Stats is the exported face of the streaming reduction, for multi-shot
+// executors that live outside this package (the Pauli-frame engine): feeding
+// the same per-shot values through Add yields means and standard errors
+// bit-identical to EstimateMany's, for any worker count.
+type Stats struct{ st *streamStats }
+
+// NewStats returns a reduction over nOps per-shot values.
+func NewStats(nOps int) *Stats { return &Stats{st: newStreamStats(nOps)} }
+
+// Add folds the values of one shot. Shots may arrive out of order (vals is
+// copied if it must be buffered; callers may reuse it immediately), but every
+// index from 0 upward must eventually arrive exactly once.
+func (s *Stats) Add(shot int, vals []float64) { s.st.add(shot, vals) }
+
+// Count returns the number of shots folded into the contiguous prefix.
+func (s *Stats) Count() int {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	return s.st.count
+}
+
+// MeanStderr reduces operator j's sums to (mean, standard error of the mean).
+func (s *Stats) MeanStderr(j int) (mean, stderr float64) { return s.st.meanStderr(j) }
+
 // --- Batch estimation --------------------------------------------------------
 
 // EstimateBatch Monte-Carlo-estimates ⟨op⟩ over a compiled program: the
@@ -569,6 +600,12 @@ func EstimateMany(p *Program, ops []SitePauli, shots int, seed int64, workers in
 // non-nil run (e.g. a noise schedule's fault-injecting shot loop) replaces
 // the noiseless Engine.RunShot.
 func EstimateManyFunc(p *Program, run ShotFunc, ops []SitePauli, shots int, seed int64, workers int) (means, stderrs []float64, err error) {
+	return EstimateManyEngines(p, NewFromProgram, run, ops, shots, seed, workers)
+}
+
+// EstimateManyEngines is EstimateManyFunc with a pluggable per-worker engine
+// constructor, mirroring RunShotsEngines.
+func EstimateManyEngines(p *Program, mk func(*Program) *Engine, run ShotFunc, ops []SitePauli, shots int, seed int64, workers int) (means, stderrs []float64, err error) {
 	if shots <= 0 {
 		return nil, nil, fmt.Errorf("orqcs: EstimateBatch needs shots ≥ 1, got %d", shots)
 	}
@@ -582,7 +619,7 @@ func EstimateManyFunc(p *Program, run ShotFunc, ops []SitePauli, shots int, seed
 		}
 	}
 	st := newStreamStats(len(ops))
-	if err := RunShotsRange(p, 0, shots, seed, workers, run, func(i int, e *Engine) error {
+	if err := RunShotsEngines(p, 0, shots, seed, workers, mk, run, func(i int, e *Engine) error {
 		vals := e.scratch(len(ops))
 		for j, ps := range pss {
 			vals[j] = e.weight * e.tb.ExpectationValue(ps)

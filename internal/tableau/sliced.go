@@ -786,6 +786,18 @@ func (t *Sliced) eachSrcQubit(f func(j int, x1, z1 bool)) {
 	}
 }
 
+// LastCollapse calls f for every qubit in the support of the stabilizer row
+// the most recent random measurement recycled (the row that anticommuted
+// with the measured operator and collapsed), with that row's X/Z bits. The
+// scratch it reads is valid until the next random measurement. The
+// Pauli-frame engine records this row while compiling its reference trace:
+// multiplying it into a shot's frame converts between the two collapse
+// branches, which is what keeps frame-engine records bit-identical to a
+// tableau run whose coin came up differently from the reference shot's.
+func (t *Sliced) LastCollapse(f func(j int, x, z bool)) {
+	t.eachSrcQubit(f)
+}
+
 // fixDS multiplies the extracted source row (srcX/srcZ, sign srcSign) into
 // every destabilizer (stab=false) or stabilizer (stab=true) row selected by
 // m, phases tracked exactly by the CHP rowsum.
