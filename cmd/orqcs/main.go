@@ -33,6 +33,11 @@
 // sampler (frame, the default — bit-identical records, O(faults) per shot),
 // the bit-sliced tableau (sliced) or the row-major reference tableau
 // (rowmajor). Non-Clifford circuits fall back to the tableau engines.
+//
+// -metrics (with -memory/-surgery) writes the run's structured manifest:
+// provenance, stage spans and the estimation point's program, noise, sampler
+// and decoder metric snapshots. Telemetry touches no RNG, so the estimate is
+// bit-identical with and without it.
 package main
 
 import (
@@ -43,6 +48,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"tiscc/internal/circuit"
 	"tiscc/internal/decoder"
@@ -52,6 +58,7 @@ import (
 	"tiscc/internal/noise"
 	"tiscc/internal/orqcs"
 	"tiscc/internal/pauli"
+	"tiscc/internal/telemetry"
 	"tiscc/internal/verify"
 )
 
@@ -70,10 +77,14 @@ func main() {
 		decode  = flag.Bool("decode", false, "with -memory/-surgery -noise: union-find-decode each shot's syndrome history")
 		demFile = flag.String("dem", "", "with -memory/-surgery: write the Stim-compatible detector error model to this file")
 		engine  = flag.String("engine", "frame", "multi-shot sampling engine: frame (Pauli-frame, default), sliced (bit-sliced tableau), rowmajor (row-major reference tableau)")
+		metOut  = flag.String("metrics", "", "with -memory/-surgery: write the structured run manifest (provenance, spans, pipeline metrics) to this JSON file")
 	)
 	flag.Parse()
 	if *memory != "" && *surgery != "" {
 		usageErr("-memory and -surgery are mutually exclusive")
+	}
+	if *metOut != "" && *memory == "" && *surgery == "" {
+		usageErr("-metrics requires -memory or -surgery")
 	}
 	// Validate every numeric flag up front: invalid inputs must exit with a
 	// usage error, never reach an internal panic ("grid: size must be
@@ -91,11 +102,11 @@ func main() {
 		usageErr(err.Error())
 	}
 	if *memory != "" {
-		runMemory(*memory, *noiseP, *decode, *demFile, *shots, *seed, *workers, *fuse, *engine)
+		runMemory(*memory, *noiseP, *decode, *demFile, *metOut, *shots, *seed, *workers, *fuse, *engine)
 		return
 	}
 	if *surgery != "" {
-		runSurgery(*surgery, *noiseP, *decode, *demFile, *shots, *seed, *workers, *fuse, *engine)
+		runSurgery(*surgery, *noiseP, *decode, *demFile, *metOut, *shots, *seed, *workers, *fuse, *engine)
 		return
 	}
 	if *file == "" {
@@ -284,15 +295,19 @@ type experiment struct {
 	reference bool
 	extract   func() (*decoder.Detectors, error)
 	rawLabel  string
+	labels    map[string]any   // manifest point coordinates (workload, d, rounds)
+	spans     *telemetry.Spans // stage spans, started before compilation
 }
 
 // runMemory compiles a distance-d memory experiment and hands it to the
 // shared estimation pipeline.
-func runMemory(spec string, noiseP float64, decode bool, demFile string, shots int, seed int64, workers int, fuse bool, engine string) {
+func runMemory(spec string, noiseP float64, decode bool, demFile, metricsFile string, shots int, seed int64, workers int, fuse bool, engine string) {
 	d, rounds, err := parseDSpec("memory", spec)
 	if err != nil {
 		usageErr(err.Error())
 	}
+	sp := telemetry.NewSpans()
+	endCompile := sp.Start("compile")
 	mem, err := verify.MemoryExperiment(d, rounds, pauli.Z)
 	if err != nil {
 		fatal(err)
@@ -302,6 +317,7 @@ func runMemory(spec string, noiseP float64, decode bool, demFile string, shots i
 		// outcome formula and reference stay valid on the fused program.
 		mem.Prog = mem.Prog.FuseRotations()
 	}
+	endCompile()
 	fmt.Printf("memory experiment d=%d rounds=%d: %d qubits, %d instructions\n",
 		d, rounds, mem.Prog.NumQubits(), mem.Prog.NumInstrs())
 	runExperiment(experiment{
@@ -310,17 +326,21 @@ func runMemory(spec string, noiseP float64, decode bool, demFile string, shots i
 		reference: mem.Reference,
 		extract:   func() (*decoder.Detectors, error) { return decoder.Extract(mem) },
 		rawLabel:  "raw readout",
-	}, noiseP, decode, demFile, shots, seed, workers, engine)
+		labels:    map[string]any{"workload": "memory", "d": d, "rounds": rounds},
+		spans:     sp,
+	}, noiseP, decode, demFile, metricsFile, shots, seed, workers, engine)
 }
 
 // runSurgery compiles a distance-d two-patch ZZ-merge/split cycle and hands
 // it to the shared estimation pipeline; the estimated quantity is the joint
 // parity (final Z̄Z̄ readout against the merge outcome).
-func runSurgery(spec string, noiseP float64, decode bool, demFile string, shots int, seed int64, workers int, fuse bool, engine string) {
+func runSurgery(spec string, noiseP float64, decode bool, demFile, metricsFile string, shots int, seed int64, workers int, fuse bool, engine string) {
 	d, rounds, err := parseDSpec("surgery", spec)
 	if err != nil {
 		usageErr(err.Error())
 	}
+	sp := telemetry.NewSpans()
+	endCompile := sp.Start("compile")
 	s, err := verify.SurgeryExperiment(d, 1, rounds, 1, pauli.Z)
 	if err != nil {
 		fatal(err)
@@ -328,6 +348,7 @@ func runSurgery(spec string, noiseP float64, decode bool, demFile string, shots 
 	if fuse {
 		s.Prog = s.Prog.FuseRotations()
 	}
+	endCompile()
 	fmt.Printf("surgery experiment d=%d merged-rounds=%d: %d qubits, %d instructions\n",
 		d, rounds, s.Prog.NumQubits(), s.Prog.NumInstrs())
 	runExperiment(experiment{
@@ -336,18 +357,24 @@ func runSurgery(spec string, noiseP float64, decode bool, demFile string, shots 
 		reference: s.Reference,
 		extract:   func() (*decoder.Detectors, error) { return decoder.ExtractSurgery(s) },
 		rawLabel:  "raw joint-parity readout",
-	}, noiseP, decode, demFile, shots, seed, workers, engine)
+		labels:    map[string]any{"workload": "surgery", "d": d, "rounds": rounds},
+		spans:     sp,
+	}, noiseP, decode, demFile, metricsFile, shots, seed, workers, engine)
 }
 
 // runExperiment is the common tail of -memory and -surgery: write the
 // detector error model if requested, then estimate the (optionally
-// union-find-decoded) logical error rate under depolarizing noise.
-func runExperiment(e experiment, noiseP float64, decode bool, demFile string, shots int, seed int64, workers int, engine string) {
+// union-find-decoded) logical error rate under depolarizing noise, and write
+// the run manifest when -metrics names a file.
+func runExperiment(e experiment, noiseP float64, decode bool, demFile, metricsFile string, shots int, seed int64, workers int, engine string) {
+	sp := e.spans
 	m := noise.Depolarizing(noiseP)
 	if err := m.Validate(); err != nil {
 		fatal(err)
 	}
+	endNoise := sp.Start("noise-compile")
 	sched := noise.Compile(m, e.prog)
+	endNoise()
 	var dets *decoder.Detectors
 	if demFile != "" || decode {
 		var err error
@@ -372,40 +399,100 @@ func runExperiment(e experiment, noiseP float64, decode bool, demFile string, sh
 		fmt.Printf("wrote detector error model (%d detectors, %d fault sites) to %s\n",
 			dets.NumDetectors(), sched.NumFaultSites(), demFile)
 	}
+	writeManifest := func(pt telemetry.Point) {
+		if metricsFile == "" {
+			return
+		}
+		man := telemetry.NewManifest("orqcs")
+		man.Config = map[string]any{
+			"noise": noiseP, "shots": shots, "seed": seed,
+			"workers": workers, "engine": engine, "decode": decode,
+		}
+		man.AddPoint(pt)
+		man.Finish(sp)
+		if err := man.WriteFile(metricsFile); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote run manifest to %s\n", metricsFile)
+	}
 	if noiseP == 0 {
 		if decode || shots > 1 {
 			fmt.Fprintln(os.Stderr, "orqcs: -noise 0: nothing to estimate (-decode/-shots ignored)")
 		}
+		// The manifest still records the compile-time pipeline state.
+		writeManifest(telemetry.Point{
+			Labels: e.labels,
+			Metrics: map[string]*telemetry.Snapshot{
+				"program": e.prog.Metrics(),
+				"noise":   sched.Metrics(),
+			},
+		})
 		return
 	}
 	opt := noise.Options{Shots: shots, Seed: seed, Workers: workers}
 	// Engine selection: all three samplers produce bit-identical records per
 	// (seed, shot), so the estimate is the same — the Pauli-frame default is
-	// purely a throughput choice.
+	// purely a throughput choice. Every sampler is set explicitly (never left
+	// to the estimator's internal default) so each exposes merged Metrics.
+	var sampler interface{ Metrics() *telemetry.Snapshot }
 	switch engine {
 	case "frame":
 		sim, err := frame.New(e.prog, sched)
 		if err != nil {
 			fatal(err)
 		}
-		opt.Sampler = sim
+		opt.Sampler, sampler = sim, sim
+	case "sliced":
+		es := &noise.EngineSampler{S: sched}
+		opt.Sampler, sampler = es, es
 	case "rowmajor":
-		opt.Sampler = noise.EngineSampler{S: sched, RowMajor: true}
+		es := &noise.EngineSampler{S: sched, RowMajor: true}
+		opt.Sampler, sampler = es, es
 	}
 	label := e.rawLabel
+	var g *decoder.Graph
 	if decode {
-		g, err := decoder.CompileGraph(dets, sched)
+		endGraph := sp.Start("decoder-compile")
+		var err error
+		g, err = decoder.CompileGraph(dets, sched)
+		endGraph()
 		if err != nil {
 			fatal(err)
 		}
 		opt.Decoder = g
 		label = "union-find decoded"
 	}
+	endEst := sp.Start("estimate")
+	t0 := time.Now()
 	res, err := noise.EstimateLogicalError(sched, e.outcome, e.reference, opt)
+	wall := time.Since(t0).Seconds()
+	endEst()
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("depolarizing p=%g (%s): %v\n", noiseP, label, res)
+	e.labels["engine"] = engine
+	e.labels["decoded"] = decode
+	e.labels["p"] = noiseP
+	metrics := map[string]*telemetry.Snapshot{
+		"program": e.prog.Metrics(),
+		"noise":   sched.Metrics(),
+		"sampler": sampler.Metrics(),
+	}
+	if g != nil {
+		metrics["decoder"] = g.Metrics()
+	}
+	writeManifest(telemetry.Point{
+		Labels: e.labels,
+		Result: map[string]any{
+			"shots": res.Shots, "requested": res.Requested, "errors": res.Errors,
+			"p_l": res.Rate, "stderr": res.StdErr,
+			"wilson_low": res.WilsonLow, "wilson_high": res.WilsonHigh,
+			"half_width": res.HalfWidth, "early_stop_batch": res.EarlyStopBatch,
+			"wall_seconds": wall,
+		},
+		Metrics: metrics,
+	})
 }
 
 func parseExpect(s string) (orqcs.SitePauli, error) {

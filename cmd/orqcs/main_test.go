@@ -4,8 +4,11 @@ import (
 	"flag"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"tiscc/internal/telemetry"
 )
 
 func TestParseDSpec(t *testing.T) {
@@ -101,6 +104,7 @@ func TestCLIErrorPaths(t *testing.T) {
 		{"negative-workers", []string{"-memory", "3", "-workers", "-2"}, "-workers must be ≥ 0"},
 		{"bad-engine", []string{"-memory", "3", "-engine", "stim"}, "-engine must be frame, sliced or rowmajor"},
 		{"both-experiments", []string{"-memory", "3", "-surgery", "3"}, "mutually exclusive"},
+		{"metrics-without-experiment", []string{"-circuit", "x.tiscc", "-metrics", "m.json"}, "-metrics requires -memory or -surgery"},
 		{"nothing", []string{}, "is required"},
 	}
 	for _, tc := range cases {
@@ -125,5 +129,53 @@ func TestCLIErrorPaths(t *testing.T) {
 				t.Fatalf("args %v: output missing %q:\n%s", tc.args, tc.want, out)
 			}
 		})
+	}
+}
+
+// TestMemoryMetricsManifest runs a real decoded -memory estimation through
+// the re-exec harness with -metrics and validates the resulting manifest:
+// schema check, stage spans inside wall time, and nonzero pipeline counters.
+func TestMemoryMetricsManifest(t *testing.T) {
+	if os.Getenv("ORQCS_RUN_MAIN") == "1" {
+		flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ExitOnError)
+		os.Args = append([]string{"orqcs"}, strings.Split(os.Getenv("ORQCS_ARGS"), "\x1f")...)
+		main()
+		os.Exit(0)
+	}
+	manPath := filepath.Join(t.TempDir(), "run.json")
+	args := []string{"-memory", "3", "-noise", "2e-3", "-decode", "-shots", "256", "-metrics", manPath}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestMemoryMetricsManifest")
+	cmd.Env = append(os.Environ(),
+		"ORQCS_RUN_MAIN=1",
+		"ORQCS_ARGS="+strings.Join(args, "\x1f"))
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("args %v failed: %v\n%s", args, err, out)
+	}
+	man, err := telemetry.ReadManifest(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := man.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if man.Tool != "orqcs" || len(man.Points) != 1 {
+		t.Fatalf("manifest tool=%q points=%d", man.Tool, len(man.Points))
+	}
+	pt := man.Points[0]
+	if pt.Result["shots"] != float64(256) {
+		t.Fatalf("point shots %v, want 256", pt.Result["shots"])
+	}
+	for _, comp := range []string{"program", "noise", "sampler", "decoder"} {
+		if pt.Metrics[comp] == nil {
+			t.Fatalf("point metrics missing %q: %v", comp, pt.Metrics)
+		}
+	}
+	if got := pt.Metrics["decoder"].Counter("shots"); got != 256 {
+		t.Fatalf("decoder counted %d shots, want 256", got)
+	}
+	if pt.Metrics["program"].Counter("instructions") == 0 ||
+		pt.Metrics["noise"].Counter("fault_sites") == 0 {
+		t.Fatal("compile-time metrics empty")
 	}
 }

@@ -16,6 +16,14 @@
 //	tiscc-bench -noise [-dlist 3,5] [-plist 1e-4,...] [-rounds 0] [-shots N] [-model depolarizing|table5] [-seed 1] [-workers 0] [-engine frame]
 //	tiscc-bench -noise -decode ...  (adds union-find syndrome decoding: p-vs-p_L threshold sweeps)
 //	tiscc-bench -noise -surgery ... (sweeps two-patch ZZ-merge/split cycles instead of idle memory)
+//	tiscc-bench -noise ... [-json] [-metrics run.json] [-prom run.prom]
+//	tiscc-bench ... [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
+//
+// Noise sweeps carry full observability: -metrics writes a structured run
+// manifest (provenance, config, stage spans, per-point results with merged
+// pipeline metrics), -json emits the same manifest to stdout instead of the
+// human-readable table, and -prom writes the aggregated counters in the
+// Prometheus text exposition format. The pprof flags profile any workload.
 package main
 
 import (
@@ -25,6 +33,8 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strconv"
 	"strings"
 	"time"
@@ -40,6 +50,7 @@ import (
 	"tiscc/internal/orqcs"
 	"tiscc/internal/pauli"
 	"tiscc/internal/resource"
+	"tiscc/internal/telemetry"
 	"tiscc/internal/verify"
 )
 
@@ -63,7 +74,12 @@ func main() {
 		surgery = flag.Bool("surgery", false, "with -noise: sweep two-patch ZZ-merge/split cycles (joint-parity error) instead of idle memory")
 		workers = flag.Int("workers", 0, "worker goroutines for the -noise sweep (0 = all cores)")
 		engine  = flag.String("engine", "frame", "sampling engine for the -noise sweep: frame (Pauli-frame, default), sliced (bit-sliced tableau) or rowmajor (row-major reference tableau)")
-		jsonOut = flag.Bool("json", false, "with -simbench: emit benchmark results as JSON (per-benchmark shots/sec, allocs/shot, engine) instead of the table")
+		jsonOut = flag.Bool("json", false, "with -simbench or -noise: emit results as JSON (benchmark records, or the full run manifest) instead of the table")
+		metOut  = flag.String("metrics", "", "with -noise: write the structured run manifest (provenance, spans, per-point metrics) to this JSON file")
+		promOut = flag.String("prom", "", "with -noise: write the aggregated run metrics in Prometheus text exposition format to this file")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile (taken at exit, after a GC) to this file")
+		trcOut  = flag.String("trace", "", "write a runtime execution trace of the run to this file")
 	)
 	flag.Parse()
 	// Validate every numeric flag up front: invalid inputs exit with a usage
@@ -84,8 +100,14 @@ func main() {
 	if err := validateEngine(*engine); err != nil {
 		usageErr(err.Error())
 	}
-	if *jsonOut && !*sim {
-		usageErr("-json requires -simbench")
+	if *jsonOut && !*sim && !*noisy {
+		usageErr("-json requires -simbench or -noise")
+	}
+	if *metOut != "" && !*noisy {
+		usageErr("-metrics requires -noise")
+	}
+	if *promOut != "" && !*noisy {
+		usageErr("-prom requires -noise")
 	}
 	dlistVals, err := parseInts(*dlist)
 	if err != nil {
@@ -105,6 +127,14 @@ func main() {
 			usageErr(fmt.Sprintf("bad -plist entry: %v is not a probability in [0, 1]", pv))
 		}
 	}
+	// Profiling starts only after flag validation, so usage errors never
+	// leave partial profile files behind.
+	stopProfiles, err := startProfiles(*cpuProf, *memProf, *trcOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tiscc-bench:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 	if *all {
 		for _, t := range []int{1, 2, 3, 5} {
 			printTable(t, *d)
@@ -149,7 +179,12 @@ func main() {
 				nshots = *shots
 			}
 		})
-		runNoiseSweep(ds, plistVals, *rounds, nshots, *seed, *workers, *model, *engine, *decode, *surgery)
+		runNoiseSweep(sweepConfig{
+			ds: ds, ps: plistVals, rounds: *rounds, shots: nshots,
+			seed: *seed, workers: *workers, model: *model, engine: *engine,
+			decode: *decode, surgery: *surgery,
+			json: *jsonOut, metricsFile: *metOut, promFile: *promOut,
+		})
 		did = true
 	}
 	if !did {
@@ -181,6 +216,29 @@ func validateEngine(engine string) error {
 	return fmt.Errorf("-engine must be frame, sliced or rowmajor, got %q", engine)
 }
 
+// sweepConfig bundles the -noise sweep's flags.
+type sweepConfig struct {
+	ds          []int
+	ps          []float64
+	rounds      int
+	shots       int
+	seed        int64
+	workers     int
+	model       string
+	engine      string
+	decode      bool
+	surgery     bool
+	json        bool   // emit the run manifest to stdout instead of the table
+	metricsFile string // write the run manifest to this file
+	promFile    string // write Prometheus text exposition to this file
+}
+
+// metricSampler is the slice of the RecordSampler implementations the sweep
+// needs back: merged per-run sampler counters at quiescence.
+type metricSampler interface {
+	Metrics() *telemetry.Snapshot
+}
+
 // runNoiseSweep estimates logical error rates across code distances and
 // physical error rates. The default workload is the memory experiment: |0̄⟩
 // prepared transversally, idled for `rounds` cycles of syndrome extraction
@@ -191,27 +249,49 @@ func validateEngine(engine string) error {
 // when decode is set, raw readout otherwise — is compared against the
 // noiseless reference. Output is deterministic for a fixed seed, regardless
 // of worker count or machine.
-func runNoiseSweep(ds []int, ps []float64, rounds, shots int, seed int64, workers int, model, engine string, decode, surgery bool) {
-	if model != "depolarizing" && model != "table5" {
-		fmt.Fprintf(os.Stderr, "noise sweep: unknown -model %q (want depolarizing or table5)\n", model)
+//
+// The whole sweep is recorded in a telemetry.Manifest — provenance, config,
+// wall-clock stage spans (compile / noise-compile / decoder-compile /
+// estimate), and one Point per (d, model) with the merged program, noise,
+// sampler and decoder metric snapshots — written per cfg.json / metricsFile /
+// promFile. Telemetry never touches the samplers' RNG, so estimates stay
+// bit-identical with and without any of the outputs enabled.
+func runNoiseSweep(cfg sweepConfig) {
+	if cfg.model != "depolarizing" && cfg.model != "table5" {
+		fmt.Fprintf(os.Stderr, "noise sweep: unknown -model %q (want depolarizing or table5)\n", cfg.model)
 		os.Exit(2)
 	}
-	if model == "depolarizing" && len(ps) == 0 {
+	if cfg.model == "depolarizing" && len(cfg.ps) == 0 {
 		fmt.Fprintln(os.Stderr, "noise sweep: -plist parsed to no error rates")
 		os.Exit(2)
 	}
-	workload := "memory experiments"
-	if surgery {
-		workload = "ZZ-merge/split cycles"
+	sp := telemetry.NewSpans()
+	man := telemetry.NewManifest("tiscc-bench")
+	workload := "memory"
+	if cfg.surgery {
+		workload = "surgery"
 	}
-	fmt.Printf("== Logical error rate vs physical error rate (%s) ==\n", workload)
-	mode := "raw readout, no decoder"
-	if decode {
-		mode = "union-find decoded syndrome history"
+	man.Config = map[string]any{
+		"workload": workload, "model": cfg.model, "shots": cfg.shots,
+		"seed": cfg.seed, "workers": cfg.workers, "engine": cfg.engine,
+		"decode": cfg.decode, "rounds": cfg.rounds,
 	}
-	fmt.Printf("model=%s, shots=%d/point, seed=%d, engine=%s (%s)\n", model, shots, seed, engine, mode)
-	for _, d := range ds {
-		r := rounds
+	quiet := cfg.json // the manifest replaces the human-readable table
+	if !quiet {
+		desc := "memory experiments"
+		if cfg.surgery {
+			desc = "ZZ-merge/split cycles"
+		}
+		fmt.Printf("== Logical error rate vs physical error rate (%s) ==\n", desc)
+		mode := "raw readout, no decoder"
+		if cfg.decode {
+			mode = "union-find decoded syndrome history"
+		}
+		fmt.Printf("model=%s, shots=%d/point, seed=%d, engine=%s (%s)\n",
+			cfg.model, cfg.shots, cfg.seed, cfg.engine, mode)
+	}
+	for _, d := range cfg.ds {
+		r := cfg.rounds
 		if r <= 0 {
 			r = d
 		}
@@ -222,11 +302,12 @@ func runNoiseSweep(ds []int, ps []float64, rounds, shots int, seed int64, worker
 			dets      *decoder.Detectors
 			err       error
 		)
-		if surgery {
+		endCompile := sp.Start("compile")
+		if cfg.surgery {
 			var s *verify.Surgery
 			if s, err = verify.SurgeryExperiment(d, 1, r, 1, pauli.Z); err == nil {
 				prog, outcome, reference = s.Prog, s.Outcome, s.Reference
-				if decode {
+				if cfg.decode {
 					dets, err = decoder.ExtractSurgery(s)
 				}
 			}
@@ -234,27 +315,30 @@ func runNoiseSweep(ds []int, ps []float64, rounds, shots int, seed int64, worker
 			var mem *verify.Memory
 			if mem, err = verify.MemoryExperiment(d, r, pauli.Z); err == nil {
 				prog, outcome, reference = mem.Prog, mem.Outcome, mem.Reference
-				if decode {
+				if cfg.decode {
 					dets, err = decoder.Extract(mem)
 				}
 			}
 		}
+		endCompile()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "noise sweep:", err)
 			return
 		}
-		fmt.Printf("\nd=%d (rounds=%d, %d qubits, %d instructions", d, r, prog.NumQubits(), prog.NumInstrs())
-		if dets != nil {
-			fmt.Printf(", %d detectors", dets.NumDetectors())
+		if !quiet {
+			fmt.Printf("\nd=%d (rounds=%d, %d qubits, %d instructions", d, r, prog.NumQubits(), prog.NumInstrs())
+			if dets != nil {
+				fmt.Printf(", %d detectors", dets.NumDetectors())
+			}
+			fmt.Println(")")
+			fmt.Printf("  %-10s %-8s %-8s %-12s %-10s %s\n",
+				"p_phys", "shots", "errors", "p_L", "stderr", "95% Wilson CI")
 		}
-		fmt.Println(")")
-		fmt.Printf("  %-10s %-8s %-8s %-12s %-10s %s\n",
-			"p_phys", "shots", "errors", "p_L", "stderr", "95% Wilson CI")
-		models := make([]noise.Model, 0, len(ps))
-		if model == "table5" {
+		models := make([]noise.Model, 0, len(cfg.ps))
+		if cfg.model == "table5" {
 			models = append(models, noise.PaperTable5(hardware.Default()))
 		} else {
-			for _, p := range ps {
+			for _, p := range cfg.ps {
 				models = append(models, noise.Depolarizing(p))
 			}
 		}
@@ -263,41 +347,174 @@ func runNoiseSweep(ds []int, ps []float64, rounds, shots int, seed int64, worker
 				fmt.Fprintln(os.Stderr, "noise sweep:", err)
 				return
 			}
+			endNoise := sp.Start("noise-compile")
 			sched := noise.Compile(m, prog)
-			opt := noise.Options{Shots: shots, Seed: seed, Workers: workers}
-			switch engine {
+			endNoise()
+			opt := noise.Options{Shots: cfg.shots, Seed: cfg.seed, Workers: cfg.workers}
+			var sampler metricSampler
+			switch cfg.engine {
 			case "frame":
 				sim, err := frame.New(prog, sched)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "noise sweep:", err)
 					return
 				}
-				opt.Sampler = sim
+				opt.Sampler, sampler = sim, sim
+			case "sliced":
+				es := &noise.EngineSampler{S: sched}
+				opt.Sampler, sampler = es, es
 			case "rowmajor":
-				opt.Sampler = noise.EngineSampler{S: sched, RowMajor: true}
+				es := &noise.EngineSampler{S: sched, RowMajor: true}
+				opt.Sampler, sampler = es, es
 			}
-			if decode {
-				g, err := decoder.CompileGraph(dets, sched)
+			var g *decoder.Graph
+			if cfg.decode {
+				endGraph := sp.Start("decoder-compile")
+				g, err = decoder.CompileGraph(dets, sched)
+				endGraph()
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "noise sweep:", err)
 					return
 				}
 				opt.Decoder = g
 			}
+			endEst := sp.Start("estimate")
+			t0 := time.Now()
 			res, err := noise.EstimateLogicalError(sched, outcome, reference, opt)
+			wall := time.Since(t0).Seconds()
+			endEst()
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "noise sweep:", err)
 				return
 			}
-			label := m.Name
-			if model != "table5" {
-				label = fmt.Sprintf("%.1e", m.P1)
+			labels := map[string]any{
+				"workload": workload, "d": d, "rounds": r,
+				"model": m.Name, "engine": cfg.engine, "decoded": cfg.decode,
 			}
-			fmt.Printf("  %-10s %-8d %-8d %-12.4e %-10.1e [%.4e, %.4e]\n",
-				label, res.Shots, res.Errors, res.Rate, res.StdErr, res.WilsonLow, res.WilsonHigh)
+			if cfg.model != "table5" {
+				labels["p"] = m.P1
+			}
+			metrics := map[string]*telemetry.Snapshot{
+				"program": prog.Metrics(),
+				"noise":   sched.Metrics(),
+				"sampler": sampler.Metrics(),
+			}
+			if g != nil {
+				metrics["decoder"] = g.Metrics()
+			}
+			man.AddPoint(telemetry.Point{
+				Labels: labels,
+				Result: map[string]any{
+					"shots": res.Shots, "requested": res.Requested, "errors": res.Errors,
+					"p_l": res.Rate, "stderr": res.StdErr,
+					"wilson_low": res.WilsonLow, "wilson_high": res.WilsonHigh,
+					"half_width": res.HalfWidth, "early_stop_batch": res.EarlyStopBatch,
+					"wall_seconds": wall,
+				},
+				Metrics: metrics,
+			})
+			if !quiet {
+				label := m.Name
+				if cfg.model != "table5" {
+					label = fmt.Sprintf("%.1e", m.P1)
+				}
+				fmt.Printf("  %-10s %-8d %-8d %-12.4e %-10.1e [%.4e, %.4e]\n",
+					label, res.Shots, res.Errors, res.Rate, res.StdErr, res.WilsonLow, res.WilsonHigh)
+			}
 		}
 	}
-	fmt.Println()
+	if !quiet {
+		fmt.Println()
+	}
+	man.Finish(sp)
+	if cfg.json {
+		if err := man.Write(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "noise sweep:", err)
+		}
+	}
+	if cfg.metricsFile != "" {
+		if err := man.WriteFile(cfg.metricsFile); err != nil {
+			fmt.Fprintln(os.Stderr, "noise sweep:", err)
+			return
+		}
+		if !quiet {
+			fmt.Printf("wrote run manifest to %s\n", cfg.metricsFile)
+		}
+	}
+	if cfg.promFile != "" {
+		if err := writeProm(cfg.promFile, man); err != nil {
+			fmt.Fprintln(os.Stderr, "noise sweep:", err)
+			return
+		}
+		if !quiet {
+			fmt.Printf("wrote Prometheus metrics to %s\n", cfg.promFile)
+		}
+	}
+}
+
+// writeProm renders the manifest's aggregate metrics and stage spans in the
+// Prometheus text exposition format under the `tiscc` namespace.
+func writeProm(path string, man *telemetry.Manifest) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WritePrometheus(f, "tiscc", man.MergedMetrics()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := telemetry.WriteSpansPrometheus(f, "tiscc", man.Spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// startProfiles enables the requested pprof/trace collectors and returns the
+// function that flushes and closes them at exit (the heap profile is taken
+// there, after a final GC).
+func startProfiles(cpu, mem, trc string) (func(), error) {
+	var stops []func()
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() { pprof.StopCPUProfile(); f.Close() })
+	}
+	if trc != "" {
+		f, err := os.Create(trc)
+		if err != nil {
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() { trace.Stop(); f.Close() })
+	}
+	return func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		if mem == "" {
+			return
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tiscc-bench:", err)
+			return
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tiscc-bench:", err)
+		}
+		f.Close()
+	}, nil
 }
 
 func parseFloats(s string) ([]float64, error) {
@@ -450,9 +667,13 @@ func runSimBench(d, shots int, jsonOut bool) {
 	// throughput (and allocation behaviour) differs.
 	recs = append(recs, runEngineBench(d, shots, jsonOut)...)
 	if jsonOut {
+		out := struct {
+			Provenance telemetry.Provenance `json:"provenance"`
+			Benchmarks []benchRecord        `json:"benchmarks"`
+		}{telemetry.NewProvenance(), recs}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(recs); err != nil {
+		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
 		}
 		return

@@ -4,8 +4,11 @@ import (
 	"flag"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"tiscc/internal/telemetry"
 )
 
 func TestParseInts(t *testing.T) {
@@ -90,7 +93,10 @@ func TestCLIErrorPaths(t *testing.T) {
 		{"zero-shots", []string{"-noise", "-shots", "0"}, "-shots must be ≥ 1"},
 		{"negative-workers", []string{"-noise", "-workers", "-1"}, "-workers must be ≥ 0"},
 		{"bad-engine", []string{"-noise", "-engine", "stim"}, "-engine must be frame, sliced or rowmajor"},
-		{"json-without-simbench", []string{"-noise", "-json"}, "-json requires -simbench"},
+		{"json-alone", []string{"-json"}, "-json requires -simbench or -noise"},
+		{"json-with-table", []string{"-table", "1", "-json"}, "-json requires -simbench or -noise"},
+		{"metrics-without-noise", []string{"-simbench", "-metrics", "run.json"}, "-metrics requires -noise"},
+		{"prom-without-noise", []string{"-verify", "-prom", "run.prom"}, "-prom requires -noise"},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -114,5 +120,153 @@ func TestCLIErrorPaths(t *testing.T) {
 				t.Fatalf("args %v: output missing %q:\n%s", tc.args, tc.want, out)
 			}
 		})
+	}
+}
+
+// runCLI re-executes the test binary as the tiscc-bench CLI (success path)
+// and returns its combined output.
+func runCLI(t *testing.T, testName string, args []string) string {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", testName)
+	cmd.Env = append(os.Environ(),
+		"TISCC_BENCH_RUN_MAIN=1",
+		"TISCC_BENCH_ARGS="+strings.Join(args, "\x1f"))
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("args %v failed: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+// TestMetricsManifest is the telemetry smoke test: a real decoded noise sweep
+// with -metrics and -prom must produce a manifest that passes the schema
+// check, whose stage spans account for ≥90% of the run's wall time, and whose
+// sampler/decoder counters are nonzero and mutually consistent.
+func TestMetricsManifest(t *testing.T) {
+	if os.Getenv("TISCC_BENCH_RUN_MAIN") == "1" {
+		flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ExitOnError)
+		os.Args = append([]string{"tiscc-bench"}, strings.Split(os.Getenv("TISCC_BENCH_ARGS"), "\x1f")...)
+		main()
+		os.Exit(0)
+	}
+	dir := t.TempDir()
+	manPath := filepath.Join(dir, "run.json")
+	promPath := filepath.Join(dir, "run.prom")
+	const shots = 512
+	runCLI(t, "TestMetricsManifest", []string{
+		"-noise", "-decode", "-dlist", "3", "-plist", "3e-3",
+		"-shots", "512", "-seed", "1",
+		"-metrics", manPath, "-prom", promPath,
+	})
+	man, err := telemetry.ReadManifest(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := man.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if man.Tool != "tiscc-bench" {
+		t.Fatalf("manifest tool %q", man.Tool)
+	}
+	if cover := man.SpanSecondsTotal() / man.WallSeconds; cover < 0.9 {
+		t.Fatalf("stage spans cover %.0f%% of wall time, want ≥ 90%%\nspans: %+v", cover*100, man.Spans)
+	}
+	if len(man.Points) != 1 {
+		t.Fatalf("manifest has %d points, want 1", len(man.Points))
+	}
+	pt := man.Points[0]
+	if got := pt.Result["shots"]; got != float64(shots) {
+		t.Fatalf("point shots %v, want %d", got, shots)
+	}
+	sampler := pt.Metrics["sampler"]
+	dec := pt.Metrics["decoder"]
+	if sampler == nil || dec == nil {
+		t.Fatalf("point metrics missing sampler/decoder: %v", pt.Metrics)
+	}
+	// Self-consistency: the decoder judged every requested shot, the sampler
+	// ran at least those, and the noisy run actually fired faults.
+	if got := dec.Counter("shots"); got != shots {
+		t.Fatalf("decoder counted %d shots, want %d", got, shots)
+	}
+	if got := sampler.Counter("shots"); got < shots {
+		t.Fatalf("sampler counted %d shots, want ≥ %d", got, shots)
+	}
+	if sampler.Counter("batches") == 0 || sampler.Counter("faults_fired") == 0 {
+		t.Fatalf("sampler counters empty: batches=%d faults_fired=%d",
+			sampler.Counter("batches"), sampler.Counter("faults_fired"))
+	}
+	if sampler.Counter("meas_random")+sampler.Counter("meas_det") == 0 {
+		t.Fatal("sampler counted no measurements")
+	}
+	if dec.Counter("defects") != dec.Counter("clusters_seeded") {
+		t.Fatalf("defects %d != clusters_seeded %d", dec.Counter("defects"), dec.Counter("clusters_seeded"))
+	}
+	if dec.Counter("empty_syndromes") > shots {
+		t.Fatalf("empty_syndromes %d exceeds shot count", dec.Counter("empty_syndromes"))
+	}
+	if h := dec.Hist("defects_per_shot"); h.Count != shots || h.Sum != dec.Counter("defects") {
+		t.Fatalf("defects_per_shot histogram inconsistent: count=%d sum=%d", h.Count, h.Sum)
+	}
+	if dec.Counter("detectors") == 0 || dec.Counter("edges") == 0 {
+		t.Fatal("decoder graph metrics empty")
+	}
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"tiscc_decoder_shots_total 512",
+		"tiscc_sampler_faults_fired_total",
+		`tiscc_stage_seconds{stage="estimate"}`,
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, prom)
+		}
+	}
+}
+
+// TestNoiseJSONManifest checks that -noise -json emits the run manifest
+// (not the human table) on stdout, valid under the same schema check.
+func TestNoiseJSONManifest(t *testing.T) {
+	if os.Getenv("TISCC_BENCH_RUN_MAIN") == "1" {
+		flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ExitOnError)
+		os.Args = append([]string{"tiscc-bench"}, strings.Split(os.Getenv("TISCC_BENCH_ARGS"), "\x1f")...)
+		main()
+		os.Exit(0)
+	}
+	out := runCLI(t, "TestNoiseJSONManifest", []string{
+		"-noise", "-dlist", "3", "-plist", "1e-3,3e-3", "-shots", "128", "-json",
+	})
+	if strings.Contains(out, "p_phys") {
+		t.Fatalf("-json still printed the human table:\n%s", out)
+	}
+	// The child may append the test framework's PASS line; parse only the
+	// JSON document at the start.
+	dec := strings.Index(out, "{")
+	if dec < 0 {
+		t.Fatalf("no JSON in output:\n%s", out)
+	}
+	path := filepath.Join(t.TempDir(), "stdout.json")
+	end := strings.LastIndex(out, "}")
+	if err := os.WriteFile(path, []byte(out[dec:end+1]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	man, err := telemetry.ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := man.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Points) != 2 {
+		t.Fatalf("manifest has %d points, want 2 (one per -plist entry)", len(man.Points))
+	}
+	for i, pt := range man.Points {
+		if pt.Result["shots"] != float64(128) {
+			t.Fatalf("point %d shots %v, want 128", i, pt.Result["shots"])
+		}
+		if pt.Metrics["sampler"].Counter("shots") < 128 {
+			t.Fatalf("point %d sampler shots %d", i, pt.Metrics["sampler"].Counter("shots"))
+		}
 	}
 }

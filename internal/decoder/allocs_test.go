@@ -1,0 +1,51 @@
+package decoder
+
+import (
+	"testing"
+
+	"tiscc/internal/noise"
+	"tiscc/internal/orqcs"
+	"tiscc/internal/pauli"
+	"tiscc/internal/verify"
+)
+
+// TestDecodeZeroAllocs extends the noisy-loop allocation guard across the
+// decoder: a full shot — fault injection plus union-find decoding of the
+// syndrome, with always-on telemetry counting underneath — must allocate
+// nothing once the engine scratch and the pooled decoder scratch are warm.
+func TestDecodeZeroAllocs(t *testing.T) {
+	mem, err := verify.MemoryExperiment(3, 3, pauli.Z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Extract(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := noise.Compile(noise.Depolarizing(2e-3), mem.Prog)
+	g, err := CompileGraph(det, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := orqcs.NewFromProgram(mem.Prog)
+	for i := 0; i < 3; i++ {
+		sched.RunShot(eng, orqcs.ShotSeed(1, i))
+		g.DecodeOutcome(eng.Records())
+	}
+	shot := 3
+	allocs := testing.AllocsPerRun(50, func() {
+		sched.RunShot(eng, orqcs.ShotSeed(1, shot))
+		g.DecodeOutcome(eng.Records())
+		shot++
+	})
+	if allocs != 0 {
+		t.Fatalf("noisy decode loop allocates %.1f objects/shot, want 0", allocs)
+	}
+	snap := g.Metrics()
+	if snap.Counter("shots") == 0 {
+		t.Fatal("decoder telemetry counted no shots during the alloc guard")
+	}
+	if err := snap.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"tiscc/internal/noise"
+	"tiscc/internal/telemetry"
 )
 
 // Edge is one decoding-graph edge: an elementary error mechanism connecting
@@ -45,6 +46,7 @@ type Graph struct {
 	protoParent []int32
 	maxGrow     int32
 	pool        sync.Pool
+	met         *telemetry.Set // per-scratch decode counters (DecoderSchema)
 }
 
 // Detectors returns the detector structure the graph decodes.
@@ -286,6 +288,7 @@ func (g *Graph) finish(edges []Edge) {
 			g.maxGrow = e.Len
 		}
 	}
+	g.met = telemetry.NewSet(DecoderSchema)
 	g.pool.New = func() any { return g.newScratch() }
 }
 

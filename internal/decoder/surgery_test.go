@@ -293,6 +293,23 @@ func TestSurgeryDeterminismMatrix(t *testing.T) {
 				t.Fatalf("seed %d workers=%d: frame-engine %+v differs from tableau %+v", seed, workers, res, ref)
 			}
 		}
+		// The telemetry-instrumented tableau sampler (Set-registered shards
+		// merged across workers) must also land on the pinned expectations:
+		// metrics collection touches no RNG, so it cannot perturb records.
+		es := &noise.EngineSampler{S: sched}
+		for _, workers := range []int{1, 4} {
+			res, err := noise.EstimateLogicalError(sched, s.Outcome, s.Reference,
+				noise.Options{Shots: 1500, Seed: seed, Workers: workers, Decoder: g, Sampler: es})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res != ref {
+				t.Fatalf("seed %d workers=%d: instrumented sampler %+v differs from %+v", seed, workers, res, ref)
+			}
+		}
+		if snap := es.Metrics(); snap.Counter("shots") != 2*1500 {
+			t.Fatalf("instrumented sampler counted %d shots, want %d", snap.Counter("shots"), 2*1500)
+		}
 		golden := filepath.Join("testdata", fmt.Sprintf("decoded_surgery_d3_seed%d.golden", seed))
 		want, err := os.ReadFile(golden)
 		if err != nil {

@@ -7,6 +7,8 @@ package decoder
 // parity. Decoding is a pure function of the syndrome — no randomness — so
 // decoded estimates stay bit-identical for any worker count.
 
+import "tiscc/internal/telemetry"
+
 // scratch is the per-worker decoder state: every slice is allocated once at
 // full size, so a decode performs zero heap allocations. Shots with an empty
 // syndrome (the common case at low physical error rates) return before
@@ -31,6 +33,8 @@ type scratch struct {
 	order    []int32 // BFS order over forest nodes
 	inForest []bool
 	nodes    []int32 // nodes incident to grown edges
+
+	tel *telemetry.Shard // single-owner decode counters (never nil)
 }
 
 func (g *Graph) newScratch() *scratch {
@@ -52,6 +56,7 @@ func (g *Graph) newScratch() *scratch {
 		order:     make([]int32, 0, n),
 		inForest:  make([]bool, n),
 		nodes:     make([]int32, 0, n),
+		tel:       g.met.NewShard(),
 	}
 }
 
@@ -105,7 +110,11 @@ func (g *Graph) DecodeOutcome(records map[int32]bool) bool {
 			sc.defects = append(sc.defects, int32(i))
 		}
 	}
+	sc.tel.Inc(ctrShots)
+	sc.tel.Add(ctrDefects, uint64(len(sc.defects)))
+	sc.tel.Observe(histDefectsPerShot, uint64(len(sc.defects)))
 	if len(sc.defects) == 0 {
+		sc.tel.Inc(ctrEmptySyndromes)
 		return raw
 	}
 	return raw != g.decode(sc)
@@ -121,6 +130,7 @@ func (g *Graph) decode(sc *scratch) bool {
 		sc.parity[d] = 1
 		odd++
 	}
+	sc.tel.Add(ctrClustersSeeded, uint64(odd))
 	sc.bnd[g.boundary] = true
 
 	// active reports whether the cluster rooted at r still drives growth.
@@ -131,10 +141,15 @@ func (g *Graph) decode(sc *scratch) bool {
 	// and rounds are bounded by the quantized edge lengths times the cluster
 	// diameter; both are small for the sparse syndromes that dominate.
 	maxRounds := int(g.maxGrow) * (int(g.boundary) + 1)
+	rounds, peakFrontier := uint64(0), uint64(0)
 	for round := 0; odd > 0; round++ {
 		if round > maxRounds {
+			sc.tel.Inc(ctrRawFallbacks)
+			sc.finishDecode(rounds, peakFrontier)
 			return false // structurally stuck; caller falls back to raw
 		}
+		rounds++
+		frontier := uint64(0)
 		progressed := false
 		for ei := range g.edges {
 			if sc.grown[ei] {
@@ -152,6 +167,7 @@ func (g *Graph) decode(sc *scratch) bool {
 			if inc == 0 {
 				continue
 			}
+			frontier++
 			progressed = true
 			sc.growth[ei] += inc
 			if sc.growth[ei] < e.Len {
@@ -178,17 +194,32 @@ func (g *Graph) decode(sc *scratch) bool {
 			if sc.bnd[rv] {
 				sc.bnd[ru] = true
 			}
+			sc.tel.Inc(ctrMerges)
 			after := 0
 			if active(ru) {
 				after++
 			}
 			odd += after - before
 		}
+		if frontier > peakFrontier {
+			peakFrontier = frontier
+		}
 		if !progressed {
+			sc.tel.Inc(ctrRawFallbacks)
+			sc.finishDecode(rounds, peakFrontier)
 			return false
 		}
 	}
+	sc.tel.Add(ctrEdgesGrown, uint64(len(sc.grownList)))
+	sc.finishDecode(rounds, peakFrontier)
 	return g.peel(sc)
+}
+
+// finishDecode flushes one decode's growth observations (every exit path).
+func (sc *scratch) finishDecode(rounds, peakFrontier uint64) {
+	sc.tel.Add(ctrGrowthRounds, rounds)
+	sc.tel.Observe(histRoundsPerShot, rounds)
+	sc.tel.Observe(histFrontierEdges, peakFrontier)
 }
 
 // peel builds a spanning forest of the grown edges (rooted at the boundary

@@ -35,11 +35,13 @@ package frame
 
 import (
 	"fmt"
+	"math/bits"
 
 	"tiscc/internal/noise"
 	"tiscc/internal/orqcs"
 	"tiscc/internal/pauli"
 	"tiscc/internal/tableau"
+	"tiscc/internal/telemetry"
 )
 
 // golden is the SplitMix64 increment (must match orqcs.shotSource).
@@ -88,6 +90,7 @@ type Sim struct {
 	events   []event
 	collapse []site // concatenated collapse-row supports
 	tb       tableau.State
+	met      *telemetry.Set // per-batch sampler shards (orqcs.SamplerSchema)
 }
 
 // New compiles a frame sampler for prog, sampling faults from sched (nil for
@@ -107,7 +110,7 @@ func newSim(prog *orqcs.Program, sched *noise.Schedule, seed int64) (*Sim, error
 	if sched != nil && sched.Program() != prog {
 		return nil, fmt.Errorf("frame: schedule compiled against a different program")
 	}
-	s := &Sim{prog: prog, sched: sched}
+	s := &Sim{prog: prog, sched: sched, met: telemetry.NewSet(orqcs.SamplerSchema)}
 	e := orqcs.NewFromProgram(prog)
 	e.BeginShot(seed)
 	tb, ok := e.Tableau().(*tableau.Sliced)
@@ -160,6 +163,13 @@ func (s *Sim) Schedule() *noise.Schedule { return s.sched }
 // measurements plus reset-implied virtual ones) — the size of a record table.
 func (s *Sim) NumEvents() int { return len(s.events) }
 
+// Metrics merges the sampler counters of every batch created from this Sim
+// (shots, batches, faults fired, measurement character, collapse
+// multiplications — the same schema the tableau engines report, so counters
+// are comparable across engines). Only call at quiescence: after the runs
+// using this Sim's batches have returned.
+func (s *Sim) Metrics() *telemetry.Snapshot { return s.met.Snapshot() }
+
 // Op is one Pauli operator resolved against the sampler's reference shot,
 // ready for per-shot expectation readout.
 type Op struct {
@@ -205,6 +215,7 @@ type Batch struct {
 	first  int      // global index of lane 0's shot
 	lanes  uint64   // mask of active lanes
 	recs   map[int32]bool
+	tel    *telemetry.Shard // single-owner sampler metrics (never nil)
 }
 
 // NewBatch allocates a reusable batch for the sampler.
@@ -216,6 +227,7 @@ func (s *Sim) NewBatch() *Batch {
 		out:   make([]uint64, len(s.events)),
 		coins: make([]uint64, 64),
 		recs:  make(map[int32]bool, len(s.events)),
+		tel:   s.met.NewShard(),
 	}
 	if s.sched != nil {
 		b.fsts = make([]uint64, 64)
@@ -244,11 +256,14 @@ func (b *Batch) Run(first, count int, seed int64) {
 			b.fsts[i] = noise.FaultStreamState(ss)
 		}
 	}
+	b.tel.Add(orqcs.CtrShots, uint64(count))
+	b.tel.Inc(orqcs.CtrBatches)
+	fired := 0
 	instrs := s.prog.Instructions()
 	evi := 0
 	for i := range instrs {
 		if s.sched != nil {
-			s.sched.SampleSlotBatch(i, b.fsts[:count], b.fx, b.fz)
+			fired += s.sched.SampleSlotBatch(i, b.fsts[:count], b.fx, b.fz)
 		}
 		in := &instrs[i]
 		switch in.Op {
@@ -272,8 +287,10 @@ func (b *Batch) Run(first, count int, seed int64) {
 		}
 	}
 	if s.sched != nil {
-		s.sched.SampleSlotBatch(len(instrs), b.fsts[:count], b.fx, b.fz)
+		fired += s.sched.SampleSlotBatch(len(instrs), b.fsts[:count], b.fx, b.fz)
 	}
+	b.tel.Add(orqcs.CtrFaultsFired, uint64(fired))
+	b.tel.Observe(orqcs.HistFaultsPerBatch, uint64(fired))
 }
 
 // measure advances every lane through measurement event evi.
@@ -282,6 +299,9 @@ func (b *Batch) measure(evi int) {
 	ev := &s.events[evi]
 	q := ev.q
 	if ev.det {
+		if !ev.reset {
+			b.tel.Add(orqcs.CtrMeasDet, uint64(b.n))
+		}
 		// A frame X on q flips the forced outcome; nothing else can.
 		w := b.fx[q]
 		if ev.ref {
@@ -289,6 +309,9 @@ func (b *Batch) measure(evi int) {
 		}
 		b.out[evi] = w
 	} else {
+		if !ev.reset {
+			b.tel.Add(orqcs.CtrMeasRandom, uint64(b.n))
+		}
 		// Fresh per-lane coins: bit 33 of the SplitMix64 output is exactly
 		// the engine rand source's Intn(2) draw.
 		var c uint64
@@ -306,6 +329,7 @@ func (b *Batch) measure(evi int) {
 		}
 		mask &= b.lanes
 		if mask != 0 {
+			b.tel.Add(orqcs.CtrCollapseMults, uint64(bits.OnesCount64(mask)))
 			for _, st := range s.collapse[ev.d0:ev.d1] {
 				if st.x {
 					b.fx[st.q] ^= mask
@@ -317,6 +341,7 @@ func (b *Batch) measure(evi int) {
 		}
 	}
 	if ev.reset {
+		b.tel.Add(orqcs.CtrResets, uint64(b.n))
 		// The conditional X cancels the frame's X component exactly (both
 		// the lane and the reference end in |0⟩); the Z component is a
 		// global phase on a Z eigenstate. Frames are canonical: cleared.

@@ -1,11 +1,11 @@
 package frame
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"tiscc/internal/noise"
 	"tiscc/internal/orqcs"
 )
 
@@ -20,6 +20,12 @@ import (
 // workers (always for distinct shots); the map is only valid for the
 // duration of the call. A non-nil error from visit stops the run.
 func (s *Sim) SampleRecords(shots int, seed int64, workers int, visit func(shot int, records map[int32]bool) error) error {
+	if shots < 0 {
+		return &noise.OptionError{Op: "frame.SampleRecords", Field: "Shots", Value: shots, Constraint: "must be ≥ 0"}
+	}
+	if workers < 0 {
+		return &noise.OptionError{Op: "frame.SampleRecords", Field: "Workers", Value: workers, Constraint: "must be ≥ 0"}
+	}
 	return s.runBatches(shots, seed, workers, func(b *Batch) error {
 		for lane := 0; lane < b.n; lane++ {
 			if err := visit(b.first+lane, b.Records(lane)); err != nil {
@@ -99,11 +105,14 @@ func (s *Sim) runBatches(shots int, seed int64, workers int, fold func(b *Batch)
 // strict-order streaming reduction, so means and standard errors match the
 // tableau engines float for float at every worker count.
 func (s *Sim) EstimateMany(ops []orqcs.SitePauli, shots int, seed int64, workers int) (means, stderrs []float64, err error) {
-	if shots <= 0 {
-		return nil, nil, fmt.Errorf("frame: EstimateMany needs shots ≥ 1, got %d", shots)
+	if shots < 1 {
+		return nil, nil, &noise.OptionError{Op: "frame.EstimateMany", Field: "Shots", Value: shots, Constraint: "must be ≥ 1"}
+	}
+	if workers < 0 {
+		return nil, nil, &noise.OptionError{Op: "frame.EstimateMany", Field: "Workers", Value: workers, Constraint: "must be ≥ 0"}
 	}
 	if len(ops) == 0 {
-		return nil, nil, fmt.Errorf("frame: no operators to estimate")
+		return nil, nil, &noise.OptionError{Op: "frame.EstimateMany", Field: "Ops", Value: ops, Constraint: "must name at least one operator"}
 	}
 	ros := make([]*Op, len(ops))
 	for j, op := range ops {

@@ -8,7 +8,22 @@ import (
 
 	"tiscc/internal/expr"
 	"tiscc/internal/orqcs"
+	"tiscc/internal/telemetry"
 )
+
+// OptionError reports an invalid Options field in one consistent format,
+// shared by every estimation entry point (EstimateLogicalError and the frame
+// sampler paths), always naming the offending field and value.
+type OptionError struct {
+	Op         string // entry point, e.g. "noise.EstimateLogicalError"
+	Field      string // Options field name, e.g. "Shots"
+	Value      any    // offending value
+	Constraint string // what the field must satisfy, e.g. "must be ≥ 1"
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("%s: invalid Options.%s = %v (%s)", e.Op, e.Field, e.Value, e.Constraint)
+}
 
 // Options configures a logical-error-rate estimation run.
 type Options struct {
@@ -52,20 +67,40 @@ type RecordSampler interface {
 // EngineSampler adapts the tableau shot loop to the RecordSampler contract,
 // so engine selection stays uniform for callers that switch between the
 // frame engine and a tableau reference. RowMajor selects the row-major
-// tableau.T engine instead of the default bit-sliced one.
+// tableau.T engine instead of the default bit-sliced one. Each worker's
+// engine registers a telemetry shard, so Metrics reports the merged sampler
+// counters of every SampleRecords run. Runs must not overlap on one sampler.
 type EngineSampler struct {
 	S        *Schedule
 	RowMajor bool
+	met      *telemetry.Set
 }
 
 // SampleRecords implements RecordSampler on the deterministic tableau pool.
-func (es EngineSampler) SampleRecords(shots int, seed int64, workers int, visit func(shot int, records map[int32]bool) error) error {
-	mk := orqcs.NewFromProgram
+func (es *EngineSampler) SampleRecords(shots int, seed int64, workers int, visit func(shot int, records map[int32]bool) error) error {
+	if es.met == nil {
+		es.met = telemetry.NewSet(orqcs.SamplerSchema)
+	}
+	mk0 := orqcs.NewFromProgram
 	if es.RowMajor {
-		mk = orqcs.NewFromProgramRowMajor
+		mk0 = orqcs.NewFromProgramRowMajor
+	}
+	mk := func(p *orqcs.Program) *orqcs.Engine {
+		e := mk0(p)
+		e.SetTelemetry(es.met.NewShard())
+		return e
 	}
 	return orqcs.RunShotsEngines(es.S.prog, 0, shots, seed, workers, mk, es.S.RunShot,
 		func(i int, e *orqcs.Engine) error { return visit(i, e.Records()) })
+}
+
+// Metrics merges the sampler counters of all completed runs. Only call at
+// quiescence (no SampleRecords in flight).
+func (es *EngineSampler) Metrics() *telemetry.Snapshot {
+	if es.met == nil {
+		es.met = telemetry.NewSet(orqcs.SamplerSchema)
+	}
+	return es.met.Snapshot()
 }
 
 // Decoder turns one noisy shot's measurement-record table into a corrected
@@ -79,14 +114,20 @@ type Decoder interface {
 
 // Result reports a logical-error-rate estimate.
 type Result struct {
-	Shots  int     // noisy shots executed
-	Errors int     // shots whose decoded logical outcome differed from the reference
-	Rate   float64 // Errors / Shots
-	StdErr float64 // binomial standard error √(p̂(1−p̂)/n)
+	Shots     int     // noisy shots executed (counted toward the estimate)
+	Requested int     // shot cap of the run (== Shots unless stopped early)
+	Errors    int     // shots whose decoded logical outcome differed from the reference
+	Rate      float64 // Errors / Shots
+	StdErr    float64 // binomial standard error √(p̂(1−p̂)/n)
 	// WilsonLow and WilsonHigh bound the 95% Wilson score interval, which
-	// stays meaningful at zero observed errors.
+	// stays meaningful at zero observed errors; HalfWidth is half its width
+	// (the precision actually reached, the early-stopping criterion × z).
 	WilsonLow, WilsonHigh float64
-	Reference             bool // the noiseless logical outcome compared against
+	HalfWidth             float64
+	// EarlyStopBatch is the 1-based batch index at which the Wilson criterion
+	// stopped the run, 0 if it ran to the shot cap.
+	EarlyStopBatch int
+	Reference      bool // the noiseless logical outcome compared against
 }
 
 func (r Result) String() string {
@@ -119,13 +160,15 @@ func Wilson(errors, shots int) (lo, hi float64) {
 }
 
 // result assembles a Result from raw counts.
-func result(errors, shots int, reference bool) Result {
-	r := Result{Shots: shots, Errors: errors, Reference: reference}
+func result(errors, shots, requested, stopBatch int, reference bool) Result {
+	r := Result{Shots: shots, Requested: requested, Errors: errors,
+		EarlyStopBatch: stopBatch, Reference: reference}
 	if shots > 0 {
 		r.Rate = float64(errors) / float64(shots)
 		r.StdErr = math.Sqrt(r.Rate * (1 - r.Rate) / float64(shots))
 	}
 	r.WilsonLow, r.WilsonHigh = Wilson(errors, shots)
+	r.HalfWidth = (r.WilsonHigh - r.WilsonLow) / 2
 	return r
 }
 
@@ -149,14 +192,15 @@ func wilsonStdErr(errors, shots int) float64 {
 // scheduling can change the result. The whole run — early stopping
 // included — uses one worker pool, so engines are allocated once.
 func EstimateLogicalError(s *Schedule, outcome expr.Expr, reference bool, opt Options) (Result, error) {
+	const op = "noise.EstimateLogicalError"
 	if opt.Shots < 0 {
-		return Result{}, fmt.Errorf("noise: negative shot count %d", opt.Shots)
+		return Result{}, &OptionError{Op: op, Field: "Shots", Value: opt.Shots, Constraint: "must be ≥ 0"}
 	}
 	if opt.Workers < 0 {
-		return Result{}, fmt.Errorf("noise: negative worker count %d", opt.Workers)
+		return Result{}, &OptionError{Op: op, Field: "Workers", Value: opt.Workers, Constraint: "must be ≥ 0"}
 	}
 	if opt.Batch < 0 {
-		return Result{}, fmt.Errorf("noise: negative early-stopping batch %d", opt.Batch)
+		return Result{}, &OptionError{Op: op, Field: "Batch", Value: opt.Batch, Constraint: "must be ≥ 0"}
 	}
 	// judge reports whether one finished shot's logical outcome disagrees
 	// with the noiseless reference: via the decoder when one is configured,
@@ -198,7 +242,7 @@ func EstimateLogicalError(s *Schedule, outcome expr.Expr, reference bool, opt Op
 		if err != nil {
 			return Result{}, err
 		}
-		return result(int(errCount.Load()), shots, reference), nil
+		return result(int(errCount.Load()), shots, shots, 0, reference), nil
 	}
 	batch := opt.Batch
 	if batch == 0 {
@@ -211,7 +255,7 @@ func EstimateLogicalError(s *Schedule, outcome expr.Expr, reference bool, opt Op
 	if err != nil && err != errStop {
 		return Result{}, err
 	}
-	return result(st.errs, st.done, reference), nil
+	return result(st.errs, st.done, shots, st.stopBatch, reference), nil
 }
 
 // errStop signals the worker pool that the target precision is reached.
@@ -234,6 +278,7 @@ type stopFold struct {
 	batch            int
 	target           float64
 	stopped          bool
+	stopBatch        int // 1-based batch index at which the run stopped, 0 if never
 	pending          map[int]bool
 }
 
@@ -270,5 +315,6 @@ func (st *stopFold) fold(bad bool) {
 	st.done++
 	if st.done%st.batch == 0 && wilsonStdErr(st.errs, st.done) <= st.target {
 		st.stopped = true
+		st.stopBatch = st.done / st.batch
 	}
 }

@@ -232,16 +232,19 @@ func (f *Fault) Branch(b int) (p float64, x1, z1, x2, z2 bool) {
 }
 
 // applySlot samples every fault of one slot, applying fired ones to the
-// tableau as Pauli frame updates. Exactly one uniform draw per fault
-// location, fired or not, so the draw sequence is schedule-shaped and a shot
-// can be replayed (FiredFaults) without simulating.
-func (s *Schedule) applySlot(slot int, tb tableau.State, r *nrng) {
+// tableau as Pauli frame updates, and returns how many fired. Exactly one
+// uniform draw per fault location, fired or not, so the draw sequence is
+// schedule-shaped and a shot can be replayed (FiredFaults) without
+// simulating.
+func (s *Schedule) applySlot(slot int, tb tableau.State, r *nrng) int {
+	fired := 0
 	for k := s.start[slot]; k < s.start[slot+1]; k++ {
 		f := &s.faults[k]
 		u := r.next()
 		if u >= f.P {
 			continue
 		}
+		fired++
 		switch f.Kind {
 		case FaultFlipX:
 			tb.ApplyPauliError(int(f.Q1), true, false)
@@ -263,6 +266,7 @@ func (s *Schedule) applySlot(slot int, tb tableau.State, r *nrng) {
 			tb.ApplyPauliError(int(f.Q2), pp.x2, pp.z2)
 		}
 	}
+	return fired
 }
 
 // branch maps a fired draw u < p to one of n equiprobable branches.
@@ -286,11 +290,17 @@ func (s *Schedule) RunShot(e *orqcs.Engine, seed int64) {
 	tb := e.Tableau()
 	r := nrng{state: uint64(seed) ^ noiseSalt}
 	instrs := s.prog.Instructions()
+	fired := 0
 	for i := range instrs {
-		s.applySlot(i, tb, &r)
+		fired += s.applySlot(i, tb, &r)
 		e.Exec(&instrs[i])
 	}
-	s.applySlot(len(instrs), tb, &r)
+	fired += s.applySlot(len(instrs), tb, &r)
+	// One tableau shot is one sampler dispatch (a batch of a single lane).
+	tel := e.Telemetry()
+	tel.Inc(orqcs.CtrBatches)
+	tel.Add(orqcs.CtrFaultsFired, uint64(fired))
+	tel.Observe(orqcs.HistFaultsPerBatch, uint64(fired))
 }
 
 // FiredFaults replays the fault sampling of one shot without simulating,
@@ -320,9 +330,11 @@ func FaultStreamState(shotSeed int64) uint64 { return uint64(shotSeed) ^ noiseSa
 // i's fault-stream state (seed with FaultStreamState), advanced in place by
 // exactly one draw per fault site, fired or not — the same sequence RunShot
 // draws — so lane i fires exactly the faults FiredFaults reports for its
-// seed, and frame-engine shots stay bit-identical to tableau shots.
-func (s *Schedule) SampleSlotBatch(slot int, states []uint64, fx, fz []uint64) {
+// seed, and frame-engine shots stay bit-identical to tableau shots. It
+// returns the number of (site, lane) fault firings applied.
+func (s *Schedule) SampleSlotBatch(slot int, states []uint64, fx, fz []uint64) int {
 	var raw [64]float64
+	total := 0
 	for k := s.start[slot]; k < s.start[slot+1]; k++ {
 		th := s.thresh[k]
 		var fired uint64
@@ -340,6 +352,7 @@ func (s *Schedule) SampleSlotBatch(slot int, states []uint64, fx, fz []uint64) {
 		if fired == 0 {
 			continue
 		}
+		total += bits.OnesCount64(fired)
 		f := &s.faults[k]
 		switch f.Kind {
 		case FaultFlipX:
@@ -387,6 +400,7 @@ func (s *Schedule) SampleSlotBatch(slot int, states []uint64, fx, fz []uint64) {
 			fz[f.Q2] ^= mz2
 		}
 	}
+	return total
 }
 
 // RunShots executes noisy shots across the deterministic worker pool:

@@ -1,0 +1,33 @@
+package noise
+
+import "tiscc/internal/telemetry"
+
+// NoiseSchema declares the compile-time metrics of a fault schedule: how a
+// noise model flattened against one lowered program.
+var NoiseSchema = &telemetry.Schema{
+	Component: "noise",
+	Counters: []string{
+		"fault_sites",   // potential error locations per shot
+		"fault_slots",   // instruction slots (+ trailing slot)
+		"sites_depol1",  // one-qubit depolarizing locations
+		"sites_depol2",  // two-qubit depolarizing locations
+		"sites_flipx",   // SPAM flip locations
+		"sites_dephase", // idle-dephasing locations
+	},
+}
+
+// Metrics summarizes the compiled schedule as a telemetry snapshot.
+func (s *Schedule) Metrics() *telemetry.Snapshot {
+	snap := telemetry.NewSnapshot(NoiseSchema)
+	var kinds [4]uint64
+	for i := range s.faults {
+		kinds[s.faults[i].Kind]++
+	}
+	snap.SetCounter("fault_sites", uint64(len(s.faults)))
+	snap.SetCounter("fault_slots", uint64(s.NumSlots()))
+	snap.SetCounter("sites_depol1", kinds[FaultDepol1])
+	snap.SetCounter("sites_depol2", kinds[FaultDepol2])
+	snap.SetCounter("sites_flipx", kinds[FaultFlipX])
+	snap.SetCounter("sites_dephase", kinds[FaultDephase])
+	return snap
+}

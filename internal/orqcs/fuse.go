@@ -211,6 +211,9 @@ func (p *Program) FuseRotations() *Program {
 		n:       p.n,
 		finalAt: p.finalAt, // immutable, shared
 		numT:    p.numT,    // T gates close runs and are never rewritten
+
+		srcEvents:   p.srcEvents,
+		elimRemoved: p.elimRemoved,
 	}
 	pendIdle := make([]int64, n)
 	pendMoves := make([]int32, n)
@@ -238,6 +241,7 @@ func (p *Program) FuseRotations() *Program {
 		out.instrs = append(out.instrs, in)
 		out.gaps = append(out.gaps, g)
 	}
+	out.fusedRemoved = p.fusedRemoved + (len(p.instrs) - len(out.instrs))
 	out.folded = make([]FoldedPrep, len(p.folded))
 	for i, f := range p.folded {
 		out.folded[i] = FoldedPrep{Slot: keptBefore[f.Slot], Q: f.Q}

@@ -26,6 +26,7 @@ import (
 	"tiscc/internal/grid"
 	"tiscc/internal/pauli"
 	"tiscc/internal/tableau"
+	"tiscc/internal/telemetry"
 )
 
 // Engine executes shots of one compiled Program on a reusable stabilizer
@@ -39,7 +40,8 @@ type Engine struct {
 	rng    *rand.Rand
 	weight float64
 	ran    bool
-	vals   []float64 // reusable multi-operator evaluation buffer
+	vals   []float64        // reusable multi-operator evaluation buffer
+	tel    *telemetry.Shard // single-owner sampler metrics (never nil)
 }
 
 // walkPositions drives the movement semantics shared by the counting pass
@@ -148,6 +150,7 @@ func NewFromProgram(p *Program) *Engine {
 		src:    src,
 		rng:    rng,
 		weight: 1,
+		tel:    telemetry.NewShard(SamplerSchema),
 	}
 }
 
@@ -163,6 +166,7 @@ func NewFromProgramRowMajor(p *Program) *Engine {
 		src:    src,
 		rng:    rng,
 		weight: 1,
+		tel:    telemetry.NewShard(SamplerSchema),
 	}
 }
 
@@ -190,6 +194,7 @@ func (e *Engine) BeginShot(seed int64) {
 	e.ran = true
 	e.weight = 1
 	e.src.Seed(seed)
+	e.tel.Inc(CtrShots)
 }
 
 // Exec executes a single lowered instruction on the engine's state. The
@@ -199,8 +204,13 @@ func (e *Engine) Exec(in *Instr) {
 	switch in.Op {
 	case OpPrepareZ:
 		e.tb.Reset(q)
+		e.tel.Inc(CtrResets)
 	case OpMeasureZ:
-		e.tb.MeasureZ(q, in.Rec)
+		if e.tb.MeasureZ(q, in.Rec).Deterministic {
+			e.tel.Inc(CtrMeasDet)
+		} else {
+			e.tel.Inc(CtrMeasRandom)
+		}
 	case OpX:
 		e.tb.X(q)
 	case OpSqrtX:

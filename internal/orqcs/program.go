@@ -79,6 +79,13 @@ type Program struct {
 	folded  []FoldedPrep      // constant-folded first-touch preparations
 	finalAt map[grid.Site]int // site → qubit after the last movement
 	numT    int
+
+	// Lowering/peephole provenance, reported by Metrics: circuit events in,
+	// and instructions removed by each optimization pass (cumulative across
+	// chained passes).
+	srcEvents    int
+	fusedRemoved int
+	elimRemoved  int
 }
 
 // Compile lowers a circuit into a Program. It runs the movement semantics
@@ -87,7 +94,7 @@ type Program struct {
 // and the final site-occupancy map is captured for end-of-circuit
 // expectation queries.
 func Compile(c *circuit.Circuit) (*Program, error) {
-	p := &Program{finalAt: map[grid.Site]int{}}
+	p := &Program{finalAt: map[grid.Site]int{}, srcEvents: len(c.Events)}
 	// touched[q] reports whether any state-changing instruction has been
 	// emitted for qubit q. Every birth yields a fresh tableau qubit in |0⟩,
 	// so a first-touch Prepare_Z is constant-folded away at compile time —
@@ -279,6 +286,10 @@ func (p *Program) Eliminate(ops ...SitePauli) (*Program, error) {
 		instrs:  make([]Instr, 0, kept),
 		gaps:    make([]Gap, 0, kept),
 		finalAt: p.finalAt, // immutable, shared
+
+		srcEvents:    p.srcEvents,
+		fusedRemoved: p.fusedRemoved,
+		elimRemoved:  p.elimRemoved + (len(p.instrs) - kept),
 	}
 	// keptBefore[i] counts surviving instructions before original index i,
 	// remapping folded-prep slots onto the filtered stream.

@@ -1,0 +1,110 @@
+// Pipeline telemetry: instrument declarations for the shot samplers (shared
+// by the tableau engines and the Pauli-frame batch sampler, so counters are
+// comparable across engines) and for compiled programs.
+//
+// Engine instrumentation is always on — increments are plain adds on a
+// single-owner telemetry.Shard, cost nothing measurable, touch no RNG, and
+// never allocate — so "enabling telemetry" just means attaching shards from
+// a registered Set and snapshotting them at quiescence.
+package orqcs
+
+import (
+	"tiscc/internal/telemetry"
+)
+
+// SamplerSchema declares the instruments of one shot-sampling run. A batch
+// is one sampler dispatch: a single shot for the tableau engines, up to 64
+// lanes for the Pauli-frame engine — so `shots == batches` on the tableau
+// path and `shots ≤ 64·batches` on the frame path.
+var SamplerSchema = &telemetry.Schema{
+	Component: "sampler",
+	Counters: []string{
+		"shots",          // shots started
+		"batches",        // sampler dispatches (1 shot, or ≤64 frame lanes)
+		"faults_fired",   // fault branches applied (per shot/lane)
+		"meas_random",    // random measurement results drawn
+		"meas_det",       // deterministic measurement results
+		"collapse_mults", // collapse-destabilizer multiplications (frame lanes)
+		"resets",         // qubit preparations executed (non-folded)
+	},
+	Hists: []string{
+		"faults_per_batch", // fired faults per sampler dispatch
+	},
+}
+
+// Sampler instrument indices into SamplerSchema.
+const (
+	CtrShots telemetry.Counter = iota
+	CtrBatches
+	CtrFaultsFired
+	CtrMeasRandom
+	CtrMeasDet
+	CtrCollapseMults
+	CtrResets
+)
+
+// HistFaultsPerBatch indexes SamplerSchema's per-dispatch fired-fault histogram.
+const HistFaultsPerBatch telemetry.HistID = 0
+
+// Telemetry returns the engine's metrics shard. Engines always own one (a
+// standalone shard by default), so instrumentation needs no nil checks.
+func (e *Engine) Telemetry() *telemetry.Shard { return e.tel }
+
+// SetTelemetry replaces the engine's shard, typically with one registered in
+// a telemetry.Set so a multi-worker run can merge per-engine counts. The
+// shard must have been created for SamplerSchema.
+func (e *Engine) SetTelemetry(sh *telemetry.Shard) { e.tel = sh }
+
+// ProgramSchema declares the compile-time metrics of a lowered program:
+// what lowering, constant folding, fusion and dead-code elimination did to
+// the instruction stream, and the schedule slack the noise model charges.
+var ProgramSchema = &telemetry.Schema{
+	Component: "program",
+	Counters: []string{
+		"source_events",      // circuit events before lowering
+		"instructions",       // lowered instructions after all peepholes
+		"qubits",             // tableau qubits addressed
+		"measurements",       // OpMeasureZ instructions
+		"t_gates",            // non-Clifford (±π/8) gates
+		"folded_preps",       // first-touch preparations constant-folded away
+		"fused_removed",      // instructions removed by rotation fusion
+		"eliminated_removed", // instructions removed by dead-code elimination
+		"idle_windows",       // nonzero resting intervals charged to gaps
+		"idle_ns",            // total resting time across gaps (ns)
+		"transport_steps",    // Move steps folded into gaps
+	},
+}
+
+// Metrics summarizes the compiled program as a telemetry snapshot.
+func (p *Program) Metrics() *telemetry.Snapshot {
+	s := telemetry.NewSnapshot(ProgramSchema)
+	var meas, idleWin uint64
+	var idleNs, moves uint64
+	for i := range p.instrs {
+		if p.instrs[i].Op == OpMeasureZ {
+			meas++
+		}
+		g := &p.gaps[i]
+		if g.Idle1 > 0 {
+			idleWin++
+			idleNs += uint64(g.Idle1)
+		}
+		if g.Idle2 > 0 {
+			idleWin++
+			idleNs += uint64(g.Idle2)
+		}
+		moves += uint64(g.Moves1) + uint64(g.Moves2)
+	}
+	s.SetCounter("source_events", uint64(p.srcEvents))
+	s.SetCounter("instructions", uint64(len(p.instrs)))
+	s.SetCounter("qubits", uint64(p.n))
+	s.SetCounter("measurements", meas)
+	s.SetCounter("t_gates", uint64(p.numT))
+	s.SetCounter("folded_preps", uint64(len(p.folded)))
+	s.SetCounter("fused_removed", uint64(p.fusedRemoved))
+	s.SetCounter("eliminated_removed", uint64(p.elimRemoved))
+	s.SetCounter("idle_windows", idleWin)
+	s.SetCounter("idle_ns", idleNs)
+	s.SetCounter("transport_steps", moves)
+	return s
+}

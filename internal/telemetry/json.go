@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// histJSON is the wire form of a Hist: buckets are keyed by their inclusive
+// upper bound ("le"), zero buckets omitted.
+type histJSON struct {
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	Max     uint64            `json:"max"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// snapshotJSON is the wire form of a Snapshot. Counter and histogram names
+// come from the schema; a snapshot round-trips through JSON with a
+// reconstructed (sorted-name) schema carrying the same values.
+type snapshotJSON struct {
+	Counters   map[string]uint64   `json:"counters"`
+	Histograms map[string]histJSON `json:"histograms,omitempty"`
+}
+
+// MarshalJSON renders the snapshot as {"counters": {...}, "histograms": {...}}.
+func (s *Snapshot) MarshalJSON() ([]byte, error) {
+	out := snapshotJSON{Counters: make(map[string]uint64, len(s.Counters))}
+	for i, name := range s.schema.Counters {
+		out.Counters[name] = s.Counters[i]
+	}
+	if len(s.Hists) > 0 {
+		out.Histograms = make(map[string]histJSON, len(s.Hists))
+		for i, name := range s.schema.Hists {
+			h := &s.Hists[i]
+			hj := histJSON{Count: h.Count, Sum: h.Sum, Max: h.Max}
+			for b, n := range h.Buckets {
+				if n != 0 {
+					if hj.Buckets == nil {
+						hj.Buckets = make(map[string]uint64)
+					}
+					hj.Buckets[fmt.Sprintf("%d", BucketUpper(b))] = n
+				}
+			}
+			out.Histograms[name] = hj
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON reconstructs a snapshot (and a schema with sorted instrument
+// names) from its wire form.
+func (s *Snapshot) UnmarshalJSON(data []byte) error {
+	var in snapshotJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	schema := &Schema{}
+	for name := range in.Counters {
+		schema.Counters = append(schema.Counters, name)
+	}
+	sort.Strings(schema.Counters)
+	for name := range in.Histograms {
+		schema.Hists = append(schema.Hists, name)
+	}
+	sort.Strings(schema.Hists)
+	*s = *NewSnapshot(schema)
+	for i, name := range schema.Counters {
+		s.Counters[i] = in.Counters[name]
+	}
+	for i, name := range schema.Hists {
+		hj := in.Histograms[name]
+		h := &s.Hists[i]
+		h.Count, h.Sum, h.Max = hj.Count, hj.Sum, hj.Max
+		for le, n := range hj.Buckets {
+			var upper uint64
+			if _, err := fmt.Sscanf(le, "%d", &upper); err != nil {
+				return fmt.Errorf("telemetry: histogram %q: bad bucket bound %q", name, le)
+			}
+			// upper = 2^i - 1 for bucket i, so bits.Len64 recovers the index.
+			b := bits.Len64(upper)
+			if b >= NumBuckets {
+				b = NumBuckets - 1
+			}
+			h.Buckets[b] += n
+		}
+	}
+	return nil
+}

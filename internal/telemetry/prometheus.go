@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePrometheus renders component snapshots in the Prometheus text
+// exposition format (version 0.0.4). Counters become
+// `<namespace>_<component>_<name>_total`; histograms become cumulative
+// `_bucket{le="..."}` series over the power-of-two bounds, plus `_sum` and
+// `_count`. Components are emitted in sorted order so output is stable.
+func WritePrometheus(w io.Writer, namespace string, snaps map[string]*Snapshot) error {
+	comps := make([]string, 0, len(snaps))
+	for c := range snaps {
+		comps = append(comps, c)
+	}
+	sort.Strings(comps)
+	for _, comp := range comps {
+		snap := snaps[comp]
+		if snap == nil {
+			continue
+		}
+		for i, name := range snap.schema.Counters {
+			metric := fmt.Sprintf("%s_%s_%s_total", namespace, comp, name)
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", metric, metric, snap.Counters[i]); err != nil {
+				return err
+			}
+		}
+		for i, name := range snap.schema.Hists {
+			h := &snap.Hists[i]
+			metric := fmt.Sprintf("%s_%s_%s", namespace, comp, name)
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", metric); err != nil {
+				return err
+			}
+			// Emit the cumulative series up to the last non-empty bucket
+			// (a subset of bounds is valid exposition), then +Inf.
+			last := -1
+			for b := NumBuckets - 1; b >= 0; b-- {
+				if h.Buckets[b] != 0 {
+					last = b
+					break
+				}
+			}
+			var cum uint64
+			for b := 0; b <= last; b++ {
+				cum += h.Buckets[b]
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", metric, BucketUpper(b), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+				metric, h.Count, metric, h.Sum, metric, h.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteSpansPrometheus renders stage spans as `<namespace>_stage_seconds`
+// gauges labeled by stage name. Repeated stage names are summed.
+func WriteSpansPrometheus(w io.Writer, namespace string, spans []Span) error {
+	totals := make(map[string]float64)
+	names := make([]string, 0, len(spans))
+	for _, s := range spans {
+		if _, ok := totals[s.Name]; !ok {
+			names = append(names, s.Name)
+		}
+		totals[s.Name] += s.MS / 1e3
+	}
+	sort.Strings(names)
+	metric := namespace + "_stage_seconds"
+	if len(names) > 0 {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", metric); err != nil {
+			return err
+		}
+	}
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "%s{stage=%q} %g\n", metric, n, totals[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
