@@ -1,0 +1,148 @@
+// Command benchdiff compares two `tiscc-bench -simbench -json` result files
+// and flags throughput regressions. Benchmarks are matched by (name, engine,
+// distance); a new shots/sec below the baseline by more than the threshold
+// (default 15%) is a regression, and any regression makes the exit status 1 —
+// the CI contract for the uploaded benchmark artifacts.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.15] baseline.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// sortedKeys returns the map's keys in (name, engine, d) order so the report
+// is deterministic.
+func sortedKeys(m map[key]record) []key {
+	ks := make([]key, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		a, b := ks[i], ks[j]
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		if a.engine != b.engine {
+			return a.engine < b.engine
+		}
+		return a.d < b.d
+	})
+	return ks
+}
+
+// record is the slice of tiscc-bench's benchRecord benchdiff compares.
+type record struct {
+	Name          string  `json:"name"`
+	Engine        string  `json:"engine"`
+	D             int     `json:"d"`
+	Shots         int     `json:"shots"`
+	ShotsPerSec   float64 `json:"shots_per_sec"`
+	AllocsPerShot float64 `json:"allocs_per_shot"`
+}
+
+// file is the shape of a -simbench -json output.
+type file struct {
+	Benchmarks []record `json:"benchmarks"`
+}
+
+type key struct {
+	name, engine string
+	d            int
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.15, "relative shots/sec drop that counts as a regression")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.15] baseline.json new.json")
+		os.Exit(2)
+	}
+	if *threshold <= 0 || *threshold >= 1 {
+		fmt.Fprintf(os.Stderr, "benchdiff: -threshold must be in (0, 1), got %v\n", *threshold)
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	code := diff(os.Stdout, base, cur, *threshold)
+	os.Exit(code)
+}
+
+func load(path string) (map[key]record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f file
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s contains no benchmarks", path)
+	}
+	out := make(map[key]record, len(f.Benchmarks))
+	for _, r := range f.Benchmarks {
+		out[key{r.Name, r.Engine, r.D}] = r
+	}
+	return out, nil
+}
+
+// diff prints the comparison for every benchmark of the new file that has a
+// baseline and returns the process exit code: 1 if any benchmark's shots/sec
+// dropped by more than threshold, 0 otherwise. Benchmarks present on only one
+// side are reported but never fail the run (the suite may grow or shrink).
+func diff(w io.Writer, base, cur map[key]record, threshold float64) int {
+	fmt.Fprintf(w, "%-32s %-10s %-3s %14s %14s %8s\n",
+		"benchmark", "engine", "d", "base shots/s", "new shots/s", "delta")
+	regressions := 0
+	compared := 0
+	for _, k := range sortedKeys(cur) {
+		nr := cur[k]
+		br, ok := base[k]
+		if !ok {
+			fmt.Fprintf(w, "%-32s %-10s %-3d %14s %14.0f %8s\n",
+				k.name, k.engine, k.d, "-", nr.ShotsPerSec, "new")
+			continue
+		}
+		compared++
+		delta := 0.0
+		if br.ShotsPerSec > 0 {
+			delta = nr.ShotsPerSec/br.ShotsPerSec - 1
+		}
+		mark := ""
+		if delta < -threshold {
+			mark = " REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-32s %-10s %-3d %14.0f %14.0f %+7.1f%%%s\n",
+			k.name, k.engine, k.d, br.ShotsPerSec, nr.ShotsPerSec, delta*100, mark)
+	}
+	for _, k := range sortedKeys(base) {
+		if _, ok := cur[k]; !ok {
+			fmt.Fprintf(w, "%-32s %-10s %-3d %14s %14s %8s\n",
+				k.name, k.engine, k.d, "-", "-", "removed")
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "%d of %d benchmarks regressed more than %.0f%%\n",
+			regressions, compared, threshold*100)
+		return 1
+	}
+	fmt.Fprintf(w, "no regressions beyond %.0f%% across %d benchmarks\n", threshold*100, compared)
+	return 0
+}

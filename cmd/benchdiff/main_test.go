@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, name string, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseJSON = `{"benchmarks": [
+  {"name": "noisy memory", "engine": "frame", "d": 3, "shots": 200, "shots_per_sec": 10000},
+  {"name": "noisy memory", "engine": "sliced", "d": 3, "shots": 200, "shots_per_sec": 1000},
+  {"name": "legacy RunOnce loop", "engine": "sliced", "d": 3, "shots": 200, "shots_per_sec": 50}
+]}`
+
+func TestLoad(t *testing.T) {
+	recs, err := load(writeBench(t, "base.json", baseJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("loaded %d records, want 3", len(recs))
+	}
+	r, ok := recs[key{"noisy memory", "frame", 3}]
+	if !ok || r.ShotsPerSec != 10000 {
+		t.Fatalf("frame record %+v (found=%v)", r, ok)
+	}
+	if _, err := load(writeBench(t, "empty.json", `{"benchmarks": []}`)); err == nil {
+		t.Fatal("load accepted a file with no benchmarks")
+	}
+	if _, err := load(writeBench(t, "junk.json", `not json`)); err == nil {
+		t.Fatal("load accepted malformed JSON")
+	}
+	if _, err := load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("load accepted a missing file")
+	}
+}
+
+// TestDiff pins the regression contract: a drop beyond the threshold exits 1
+// and is marked, smaller drops and improvements pass, and benchmarks present
+// on only one side are reported without failing the run.
+func TestDiff(t *testing.T) {
+	base, err := load(writeBench(t, "base.json", baseJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(t *testing.T, curJSON string, threshold float64) (int, string) {
+		t.Helper()
+		cur, err := load(writeBench(t, "cur.json", curJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		code := diff(&sb, base, cur, threshold)
+		return code, sb.String()
+	}
+
+	t.Run("within-threshold", func(t *testing.T) {
+		code, out := run(t, `{"benchmarks": [
+		  {"name": "noisy memory", "engine": "frame", "d": 3, "shots_per_sec": 9000},
+		  {"name": "noisy memory", "engine": "sliced", "d": 3, "shots_per_sec": 1200}
+		]}`, 0.15)
+		if code != 0 {
+			t.Fatalf("exit code %d, want 0:\n%s", code, out)
+		}
+		if strings.Contains(out, "REGRESSION") {
+			t.Fatalf("spurious regression flagged:\n%s", out)
+		}
+	})
+
+	t.Run("regression", func(t *testing.T) {
+		code, out := run(t, `{"benchmarks": [
+		  {"name": "noisy memory", "engine": "frame", "d": 3, "shots_per_sec": 8000},
+		  {"name": "noisy memory", "engine": "sliced", "d": 3, "shots_per_sec": 1000}
+		]}`, 0.15)
+		if code != 1 {
+			t.Fatalf("exit code %d, want 1:\n%s", code, out)
+		}
+		if !strings.Contains(out, "REGRESSION") {
+			t.Fatalf("regression not marked:\n%s", out)
+		}
+	})
+
+	t.Run("unmatched-benchmarks", func(t *testing.T) {
+		code, out := run(t, `{"benchmarks": [
+		  {"name": "noisy memory", "engine": "frame", "d": 3, "shots_per_sec": 10000},
+		  {"name": "brand new bench", "engine": "frame", "d": 5, "shots_per_sec": 123}
+		]}`, 0.15)
+		if code != 0 {
+			t.Fatalf("exit code %d, want 0:\n%s", code, out)
+		}
+		if !strings.Contains(out, "new") || !strings.Contains(out, "removed") {
+			t.Fatalf("one-sided benchmarks not reported:\n%s", out)
+		}
+	})
+
+	t.Run("self-compare", func(t *testing.T) {
+		code, out := run(t, baseJSON, 0.15)
+		if code != 0 || strings.Contains(out, "REGRESSION") {
+			t.Fatalf("self-comparison failed (code %d):\n%s", code, out)
+		}
+	})
+}

@@ -36,13 +36,18 @@
 //
 // -metrics (with -memory/-surgery) writes the run's structured manifest:
 // provenance, stage spans and the estimation point's program, noise, sampler
-// and decoder metric snapshots. Telemetry touches no RNG, so the estimate is
-// bit-identical with and without it.
+// and decoder metric snapshots; -prom writes the same metrics in Prometheus
+// text exposition format. -diag prints per-channel error-budget attribution,
+// -dem-calib the per-detector observed-vs-DEM-predicted calibration
+// residuals, and -progress streams NDJSON batch progress events. All
+// observability paths replay fired faults from shot seeds and touch no RNG,
+// so the estimate is bit-identical with and without them.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sort"
@@ -52,6 +57,7 @@ import (
 
 	"tiscc/internal/circuit"
 	"tiscc/internal/decoder"
+	"tiscc/internal/diag"
 	"tiscc/internal/expr"
 	"tiscc/internal/frame"
 	"tiscc/internal/grid"
@@ -78,13 +84,31 @@ func main() {
 		demFile = flag.String("dem", "", "with -memory/-surgery: write the Stim-compatible detector error model to this file")
 		engine  = flag.String("engine", "frame", "multi-shot sampling engine: frame (Pauli-frame, default), sliced (bit-sliced tableau), rowmajor (row-major reference tableau)")
 		metOut  = flag.String("metrics", "", "with -memory/-surgery: write the structured run manifest (provenance, spans, pipeline metrics) to this JSON file")
+		promOut = flag.String("prom", "", "with -memory/-surgery: write the run metrics in Prometheus text exposition format to this file")
+		diagOut = flag.Bool("diag", false, "with a noisy -memory/-surgery run: print the per-channel error-budget attribution table (and record it in the manifest)")
+		calOut  = flag.Bool("dem-calib", false, "with a decoded noisy -memory/-surgery run: print per-detector observed vs DEM-predicted fire rates with calibration residuals")
 	)
+	var progress progressFlag
+	flag.Var(&progress, "progress", "with a noisy -memory/-surgery run: stream NDJSON batch progress events (bare -progress → stderr, -progress=FILE → file)")
 	flag.Parse()
 	if *memory != "" && *surgery != "" {
 		usageErr("-memory and -surgery are mutually exclusive")
 	}
-	if *metOut != "" && *memory == "" && *surgery == "" {
+	exp := *memory != "" || *surgery != ""
+	if *metOut != "" && !exp {
 		usageErr("-metrics requires -memory or -surgery")
+	}
+	if *promOut != "" && !exp {
+		usageErr("-prom requires -memory or -surgery")
+	}
+	if *diagOut && (!exp || *noiseP == 0) {
+		usageErr("-diag requires -memory or -surgery with -noise")
+	}
+	if *calOut && (!exp || *noiseP == 0 || !*decode) {
+		usageErr("-dem-calib requires a decoded noisy experiment (-memory or -surgery with -noise and -decode)")
+	}
+	if progress.dest != "" && (!exp || *noiseP == 0) {
+		usageErr("-progress requires -memory or -surgery with -noise")
 	}
 	// Validate every numeric flag up front: invalid inputs must exit with a
 	// usage error, never reach an internal panic ("grid: size must be
@@ -101,12 +125,14 @@ func main() {
 	if err := validateEngine(*engine); err != nil {
 		usageErr(err.Error())
 	}
+	eo := estOpts{metricsFile: *metOut, promFile: *promOut,
+		diag: *diagOut, demCalib: *calOut, progress: progress.dest}
 	if *memory != "" {
-		runMemory(*memory, *noiseP, *decode, *demFile, *metOut, *shots, *seed, *workers, *fuse, *engine)
+		runMemory(*memory, *noiseP, *decode, *demFile, eo, *shots, *seed, *workers, *fuse, *engine)
 		return
 	}
 	if *surgery != "" {
-		runSurgery(*surgery, *noiseP, *decode, *demFile, *metOut, *shots, *seed, *workers, *fuse, *engine)
+		runSurgery(*surgery, *noiseP, *decode, *demFile, eo, *shots, *seed, *workers, *fuse, *engine)
 		return
 	}
 	if *file == "" {
@@ -216,6 +242,37 @@ func parseDSpec(flagName, spec string) (d, rounds int, err error) {
 	return d, rounds, nil
 }
 
+// estOpts bundles the estimation pipeline's observability outputs.
+type estOpts struct {
+	metricsFile string // run manifest destination ("" = none)
+	promFile    string // Prometheus text exposition destination ("" = none)
+	diag        bool   // print + record per-channel error-budget attribution
+	demCalib    bool   // print + record per-detector calibration residuals
+	progress    string // NDJSON progress destination: "", "stderr" or a path
+}
+
+// progressFlag is the -progress destination: a boolean-style flag (bare
+// -progress streams to stderr) that also accepts -progress=FILE.
+type progressFlag struct {
+	dest string // "" disabled, "stderr", or a file path
+}
+
+func (p *progressFlag) String() string { return p.dest }
+
+func (p *progressFlag) IsBoolFlag() bool { return true }
+
+func (p *progressFlag) Set(v string) error {
+	switch v {
+	case "", "true":
+		p.dest = "stderr"
+	case "false", "0":
+		p.dest = ""
+	default:
+		p.dest = v
+	}
+	return nil
+}
+
 // validateEngine checks the -engine selection names a known sampler.
 func validateEngine(engine string) error {
 	switch engine {
@@ -301,7 +358,7 @@ type experiment struct {
 
 // runMemory compiles a distance-d memory experiment and hands it to the
 // shared estimation pipeline.
-func runMemory(spec string, noiseP float64, decode bool, demFile, metricsFile string, shots int, seed int64, workers int, fuse bool, engine string) {
+func runMemory(spec string, noiseP float64, decode bool, demFile string, eo estOpts, shots int, seed int64, workers int, fuse bool, engine string) {
 	d, rounds, err := parseDSpec("memory", spec)
 	if err != nil {
 		usageErr(err.Error())
@@ -328,13 +385,13 @@ func runMemory(spec string, noiseP float64, decode bool, demFile, metricsFile st
 		rawLabel:  "raw readout",
 		labels:    map[string]any{"workload": "memory", "d": d, "rounds": rounds},
 		spans:     sp,
-	}, noiseP, decode, demFile, metricsFile, shots, seed, workers, engine)
+	}, noiseP, decode, demFile, eo, shots, seed, workers, engine)
 }
 
 // runSurgery compiles a distance-d two-patch ZZ-merge/split cycle and hands
 // it to the shared estimation pipeline; the estimated quantity is the joint
 // parity (final Z̄Z̄ readout against the merge outcome).
-func runSurgery(spec string, noiseP float64, decode bool, demFile, metricsFile string, shots int, seed int64, workers int, fuse bool, engine string) {
+func runSurgery(spec string, noiseP float64, decode bool, demFile string, eo estOpts, shots int, seed int64, workers int, fuse bool, engine string) {
 	d, rounds, err := parseDSpec("surgery", spec)
 	if err != nil {
 		usageErr(err.Error())
@@ -359,14 +416,15 @@ func runSurgery(spec string, noiseP float64, decode bool, demFile, metricsFile s
 		rawLabel:  "raw joint-parity readout",
 		labels:    map[string]any{"workload": "surgery", "d": d, "rounds": rounds},
 		spans:     sp,
-	}, noiseP, decode, demFile, metricsFile, shots, seed, workers, engine)
+	}, noiseP, decode, demFile, eo, shots, seed, workers, engine)
 }
 
 // runExperiment is the common tail of -memory and -surgery: write the
 // detector error model if requested, then estimate the (optionally
 // union-find-decoded) logical error rate under depolarizing noise, and write
-// the run manifest when -metrics names a file.
-func runExperiment(e experiment, noiseP float64, decode bool, demFile, metricsFile string, shots int, seed int64, workers int, engine string) {
+// the run manifest / Prometheus exposition / diagnostics reports the
+// estimation options request.
+func runExperiment(e experiment, noiseP float64, decode bool, demFile string, eo estOpts, shots int, seed int64, workers int, engine string) {
 	sp := e.spans
 	m := noise.Depolarizing(noiseP)
 	if err := m.Validate(); err != nil {
@@ -400,7 +458,7 @@ func runExperiment(e experiment, noiseP float64, decode bool, demFile, metricsFi
 			dets.NumDetectors(), sched.NumFaultSites(), demFile)
 	}
 	writeManifest := func(pt telemetry.Point) {
-		if metricsFile == "" {
+		if eo.metricsFile == "" && eo.promFile == "" {
 			return
 		}
 		man := telemetry.NewManifest("orqcs")
@@ -410,10 +468,18 @@ func runExperiment(e experiment, noiseP float64, decode bool, demFile, metricsFi
 		}
 		man.AddPoint(pt)
 		man.Finish(sp)
-		if err := man.WriteFile(metricsFile); err != nil {
-			fatal(err)
+		if eo.metricsFile != "" {
+			if err := man.WriteFile(eo.metricsFile); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote run manifest to %s\n", eo.metricsFile)
 		}
-		fmt.Printf("wrote run manifest to %s\n", metricsFile)
+		if eo.promFile != "" {
+			if err := man.WritePrometheusFile(eo.promFile, "tiscc"); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote Prometheus metrics to %s\n", eo.promFile)
+		}
 	}
 	if noiseP == 0 {
 		if decode || shots > 1 {
@@ -430,6 +496,26 @@ func runExperiment(e experiment, noiseP float64, decode bool, demFile, metricsFi
 		return
 	}
 	opt := noise.Options{Shots: shots, Seed: seed, Workers: workers}
+	var coll *diag.Collector
+	if eo.diag || eo.demCalib {
+		coll = diag.NewCollector(sched, dets, seed)
+		opt.Observer = coll
+	}
+	var pw *diag.ProgressWriter
+	if eo.progress != "" {
+		progW := io.Writer(os.Stderr)
+		if eo.progress != "stderr" {
+			f, err := os.Create(eo.progress)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			progW = f
+		}
+		pw = diag.NewProgressWriter(progW,
+			fmt.Sprintf("%s p=%g engine=%s", e.labels["workload"], noiseP, engine), shots)
+		opt.Progress = pw.Batch
+	}
 	// Engine selection: all three samplers produce bit-identical records per
 	// (seed, shot), so the estimate is the same — the Pauli-frame default is
 	// purely a throughput choice. Every sampler is set explicitly (never left
@@ -470,6 +556,12 @@ func runExperiment(e experiment, noiseP float64, decode bool, demFile, metricsFi
 	if err != nil {
 		fatal(err)
 	}
+	if pw != nil {
+		pw.Done(res)
+		if perr := pw.Err(); perr != nil {
+			fatal(fmt.Errorf("progress stream: %w", perr))
+		}
+	}
 	fmt.Printf("depolarizing p=%g (%s): %v\n", noiseP, label, res)
 	e.labels["engine"] = engine
 	e.labels["decoded"] = decode
@@ -482,7 +574,7 @@ func runExperiment(e experiment, noiseP float64, decode bool, demFile, metricsFi
 	if g != nil {
 		metrics["decoder"] = g.Metrics()
 	}
-	writeManifest(telemetry.Point{
+	point := telemetry.Point{
 		Labels: e.labels,
 		Result: map[string]any{
 			"shots": res.Shots, "requested": res.Requested, "errors": res.Errors,
@@ -492,7 +584,24 @@ func runExperiment(e experiment, noiseP float64, decode bool, demFile, metricsFi
 			"wall_seconds": wall,
 		},
 		Metrics: metrics,
-	})
+	}
+	if coll != nil {
+		att := coll.Attribution()
+		point.Attribution = att
+		metrics["error_budget"] = att.Snapshot()
+		if eo.diag {
+			fmt.Print(att.Table())
+		}
+		if eo.demCalib {
+			dr, derr := coll.DetectorReport()
+			if derr != nil {
+				fatal(derr)
+			}
+			point.Detectors = dr
+			fmt.Print(dr.Table())
+		}
+	}
+	writeManifest(point)
 }
 
 func parseExpect(s string) (orqcs.SitePauli, error) {

@@ -105,6 +105,10 @@ func TestCLIErrorPaths(t *testing.T) {
 		{"bad-engine", []string{"-memory", "3", "-engine", "stim"}, "-engine must be frame, sliced or rowmajor"},
 		{"both-experiments", []string{"-memory", "3", "-surgery", "3"}, "mutually exclusive"},
 		{"metrics-without-experiment", []string{"-circuit", "x.tiscc", "-metrics", "m.json"}, "-metrics requires -memory or -surgery"},
+		{"prom-without-experiment", []string{"-circuit", "x.tiscc", "-prom", "m.prom"}, "-prom requires -memory or -surgery"},
+		{"diag-without-noise", []string{"-memory", "3", "-diag"}, "-diag requires -memory or -surgery with -noise"},
+		{"dem-calib-without-decode", []string{"-memory", "3", "-noise", "1e-3", "-dem-calib"}, "-dem-calib requires a decoded noisy experiment"},
+		{"progress-without-noise", []string{"-memory", "3", "-progress"}, "-progress requires -memory or -surgery with -noise"},
 		{"nothing", []string{}, "is required"},
 	}
 	for _, tc := range cases {
@@ -177,5 +181,41 @@ func TestMemoryMetricsManifest(t *testing.T) {
 	if pt.Metrics["program"].Counter("instructions") == 0 ||
 		pt.Metrics["noise"].Counter("fault_sites") == 0 {
 		t.Fatal("compile-time metrics empty")
+	}
+}
+
+// TestMemoryProm checks the -prom flag (shared with tiscc-bench via the
+// manifest's Prometheus writer): a decoded -memory run must emit the decoder
+// shot counter, a sampler counter and the stage-span gauge under the tiscc
+// namespace.
+func TestMemoryProm(t *testing.T) {
+	if os.Getenv("ORQCS_RUN_MAIN") == "1" {
+		flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ExitOnError)
+		os.Args = append([]string{"orqcs"}, strings.Split(os.Getenv("ORQCS_ARGS"), "\x1f")...)
+		main()
+		os.Exit(0)
+	}
+	promPath := filepath.Join(t.TempDir(), "run.prom")
+	args := []string{"-memory", "3", "-noise", "2e-3", "-decode", "-shots", "256", "-prom", promPath}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestMemoryProm")
+	cmd.Env = append(os.Environ(),
+		"ORQCS_RUN_MAIN=1",
+		"ORQCS_ARGS="+strings.Join(args, "\x1f"))
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("args %v failed: %v\n%s", args, err, out)
+	}
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"tiscc_decoder_shots_total 256",
+		"tiscc_sampler_faults_fired_total",
+		`tiscc_stage_seconds{stage="estimate"}`,
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, prom)
+		}
 	}
 }

@@ -17,19 +17,27 @@
 //	tiscc-bench -noise -decode ...  (adds union-find syndrome decoding: p-vs-p_L threshold sweeps)
 //	tiscc-bench -noise -surgery ... (sweeps two-patch ZZ-merge/split cycles instead of idle memory)
 //	tiscc-bench -noise ... [-json] [-metrics run.json] [-prom run.prom]
+//	tiscc-bench -noise ... [-diag] [-dem-calib] [-progress[=events.ndjson]]
 //	tiscc-bench ... [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
 //
 // Noise sweeps carry full observability: -metrics writes a structured run
 // manifest (provenance, config, stage spans, per-point results with merged
 // pipeline metrics), -json emits the same manifest to stdout instead of the
 // human-readable table, and -prom writes the aggregated counters in the
-// Prometheus text exposition format. The pprof flags profile any workload.
+// Prometheus text exposition format. -diag adds per-channel error-budget
+// attribution (which noise channels drive logical failure), -dem-calib the
+// per-detector observed-vs-predicted calibration residuals, and -progress a
+// streaming NDJSON feed of batch-level estimator progress. All diagnostics
+// replay fired faults from shot seeds and never touch the samplers' RNG, so
+// records stay bit-identical with or without them. The pprof flags profile
+// any workload.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"runtime"
@@ -42,6 +50,7 @@ import (
 	"tiscc/internal/circuit"
 	"tiscc/internal/core"
 	"tiscc/internal/decoder"
+	"tiscc/internal/diag"
 	"tiscc/internal/expr"
 	"tiscc/internal/frame"
 	"tiscc/internal/hardware"
@@ -74,13 +83,17 @@ func main() {
 		surgery = flag.Bool("surgery", false, "with -noise: sweep two-patch ZZ-merge/split cycles (joint-parity error) instead of idle memory")
 		workers = flag.Int("workers", 0, "worker goroutines for the -noise sweep (0 = all cores)")
 		engine  = flag.String("engine", "frame", "sampling engine for the -noise sweep: frame (Pauli-frame, default), sliced (bit-sliced tableau) or rowmajor (row-major reference tableau)")
-		jsonOut = flag.Bool("json", false, "with -simbench or -noise: emit results as JSON (benchmark records, or the full run manifest) instead of the table")
-		metOut  = flag.String("metrics", "", "with -noise: write the structured run manifest (provenance, spans, per-point metrics) to this JSON file")
-		promOut = flag.String("prom", "", "with -noise: write the aggregated run metrics in Prometheus text exposition format to this file")
+		jsonOut = flag.Bool("json", false, "with -simbench, -noise or -surgery: emit results as JSON (benchmark records, or the full run manifest) instead of the table")
+		metOut  = flag.String("metrics", "", "with a noise sweep: write the structured run manifest (provenance, spans, per-point metrics) to this JSON file")
+		promOut = flag.String("prom", "", "with a noise sweep: write the aggregated run metrics in Prometheus text exposition format to this file")
+		diagOut = flag.Bool("diag", false, "with a noise sweep: print the per-channel error-budget attribution table for every point (and record it in the manifest)")
+		calOut  = flag.Bool("dem-calib", false, "with a decoded noise sweep: print per-detector observed vs DEM-predicted fire rates with calibration residuals")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write a pprof heap profile (taken at exit, after a GC) to this file")
 		trcOut  = flag.String("trace", "", "write a runtime execution trace of the run to this file")
 	)
+	var progress progressFlag
+	flag.Var(&progress, "progress", "with a noise sweep: stream NDJSON batch progress events (bare -progress → stderr, -progress=FILE → file)")
 	flag.Parse()
 	// Validate every numeric flag up front: invalid inputs exit with a usage
 	// error instead of reaching internal panics (negative distances would
@@ -100,14 +113,26 @@ func main() {
 	if err := validateEngine(*engine); err != nil {
 		usageErr(err.Error())
 	}
-	if *jsonOut && !*sim && !*noisy {
-		usageErr("-json requires -simbench or -noise")
+	// -surgery on its own runs the noise sweep over surgery cycles, so every
+	// sweep-only flag accepts either spelling.
+	sweep := *noisy || *surgery
+	if *jsonOut && !*sim && !sweep {
+		usageErr("-json requires -simbench, -noise or -surgery")
 	}
-	if *metOut != "" && !*noisy {
-		usageErr("-metrics requires -noise")
+	if *metOut != "" && !sweep {
+		usageErr("-metrics requires -noise or -surgery")
 	}
-	if *promOut != "" && !*noisy {
-		usageErr("-prom requires -noise")
+	if *promOut != "" && !sweep {
+		usageErr("-prom requires -noise or -surgery")
+	}
+	if *diagOut && !sweep {
+		usageErr("-diag requires -noise or -surgery")
+	}
+	if *calOut && (!sweep || !*decode) {
+		usageErr("-dem-calib requires a decoded sweep (-noise or -surgery, with -decode)")
+	}
+	if progress.dest != "" && !sweep {
+		usageErr("-progress requires -noise or -surgery")
 	}
 	dlistVals, err := parseInts(*dlist)
 	if err != nil {
@@ -167,7 +192,7 @@ func main() {
 		runSimBench(*d, *shots, *jsonOut)
 		did = true
 	}
-	if *noisy {
+	if sweep {
 		// -dlist and -shots default differently under -noise; apply the
 		// noise defaults only when the user left them untouched.
 		ds, nshots := []int{3, 5}, 1000
@@ -184,6 +209,7 @@ func main() {
 			seed: *seed, workers: *workers, model: *model, engine: *engine,
 			decode: *decode, surgery: *surgery,
 			json: *jsonOut, metricsFile: *metOut, promFile: *promOut,
+			diag: *diagOut, demCalib: *calOut, progress: progress.dest,
 		})
 		did = true
 	}
@@ -205,6 +231,28 @@ func validateDistance(d int) error {
 func usageErr(msg string) {
 	fmt.Fprintln(os.Stderr, "tiscc-bench:", msg)
 	os.Exit(2)
+}
+
+// progressFlag is the -progress destination: a boolean-style flag (bare
+// -progress streams to stderr) that also accepts -progress=FILE.
+type progressFlag struct {
+	dest string // "" disabled, "stderr", or a file path
+}
+
+func (p *progressFlag) String() string { return p.dest }
+
+func (p *progressFlag) IsBoolFlag() bool { return true }
+
+func (p *progressFlag) Set(v string) error {
+	switch v {
+	case "", "true":
+		p.dest = "stderr"
+	case "false", "0":
+		p.dest = ""
+	default:
+		p.dest = v
+	}
+	return nil
 }
 
 // validateEngine checks the -engine selection names a known sampler.
@@ -231,6 +279,9 @@ type sweepConfig struct {
 	json        bool   // emit the run manifest to stdout instead of the table
 	metricsFile string // write the run manifest to this file
 	promFile    string // write Prometheus text exposition to this file
+	diag        bool   // print + record per-channel error-budget attribution
+	demCalib    bool   // print + record per-detector calibration residuals
+	progress    string // NDJSON progress destination: "", "stderr" or a path
 }
 
 // metricSampler is the slice of the RecordSampler implementations the sweep
@@ -275,6 +326,20 @@ func runNoiseSweep(cfg sweepConfig) {
 		"workload": workload, "model": cfg.model, "shots": cfg.shots,
 		"seed": cfg.seed, "workers": cfg.workers, "engine": cfg.engine,
 		"decode": cfg.decode, "rounds": cfg.rounds,
+	}
+	// The progress stream is shared by every point of the sweep; point labels
+	// tell the interleaved runs apart.
+	var progW io.Writer
+	if cfg.progress == "stderr" {
+		progW = os.Stderr
+	} else if cfg.progress != "" {
+		f, err := os.Create(cfg.progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "noise sweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		progW = f
 	}
 	quiet := cfg.json // the manifest replaces the human-readable table
 	if !quiet {
@@ -351,6 +416,22 @@ func runNoiseSweep(cfg sweepConfig) {
 			sched := noise.Compile(m, prog)
 			endNoise()
 			opt := noise.Options{Shots: cfg.shots, Seed: cfg.seed, Workers: cfg.workers}
+			var coll *diag.Collector
+			if cfg.diag || cfg.demCalib {
+				coll = diag.NewCollector(sched, dets, cfg.seed)
+				opt.Observer = coll
+			}
+			pointLabel := m.Name
+			if cfg.model != "table5" {
+				pointLabel = fmt.Sprintf("p=%.1e", m.P1)
+			}
+			var pw *diag.ProgressWriter
+			if progW != nil {
+				pw = diag.NewProgressWriter(progW,
+					fmt.Sprintf("%s d=%d %s engine=%s", workload, d, pointLabel, cfg.engine),
+					cfg.shots)
+				opt.Progress = pw.Batch
+			}
 			var sampler metricSampler
 			switch cfg.engine {
 			case "frame":
@@ -387,6 +468,13 @@ func runNoiseSweep(cfg sweepConfig) {
 				fmt.Fprintln(os.Stderr, "noise sweep:", err)
 				return
 			}
+			if pw != nil {
+				pw.Done(res)
+				if perr := pw.Err(); perr != nil {
+					fmt.Fprintln(os.Stderr, "noise sweep: progress stream:", perr)
+					return
+				}
+			}
 			labels := map[string]any{
 				"workload": workload, "d": d, "rounds": r,
 				"model": m.Name, "engine": cfg.engine, "decoded": cfg.decode,
@@ -402,7 +490,7 @@ func runNoiseSweep(cfg sweepConfig) {
 			if g != nil {
 				metrics["decoder"] = g.Metrics()
 			}
-			man.AddPoint(telemetry.Point{
+			point := telemetry.Point{
 				Labels: labels,
 				Result: map[string]any{
 					"shots": res.Shots, "requested": res.Requested, "errors": res.Errors,
@@ -412,7 +500,27 @@ func runNoiseSweep(cfg sweepConfig) {
 					"wall_seconds": wall,
 				},
 				Metrics: metrics,
-			})
+			}
+			if coll != nil {
+				att := coll.Attribution()
+				point.Attribution = att
+				metrics["error_budget"] = att.Snapshot()
+				if cfg.diag && !quiet {
+					fmt.Print(att.Table())
+				}
+				if cfg.demCalib {
+					dr, derr := coll.DetectorReport()
+					if derr != nil {
+						fmt.Fprintln(os.Stderr, "noise sweep:", derr)
+						return
+					}
+					point.Detectors = dr
+					if !quiet {
+						fmt.Print(dr.Table())
+					}
+				}
+			}
+			man.AddPoint(point)
 			if !quiet {
 				label := m.Name
 				if cfg.model != "table5" {
@@ -442,7 +550,7 @@ func runNoiseSweep(cfg sweepConfig) {
 		}
 	}
 	if cfg.promFile != "" {
-		if err := writeProm(cfg.promFile, man); err != nil {
+		if err := man.WritePrometheusFile(cfg.promFile, "tiscc"); err != nil {
 			fmt.Fprintln(os.Stderr, "noise sweep:", err)
 			return
 		}
@@ -450,24 +558,6 @@ func runNoiseSweep(cfg sweepConfig) {
 			fmt.Printf("wrote Prometheus metrics to %s\n", cfg.promFile)
 		}
 	}
-}
-
-// writeProm renders the manifest's aggregate metrics and stage spans in the
-// Prometheus text exposition format under the `tiscc` namespace.
-func writeProm(path string, man *telemetry.Manifest) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := telemetry.WritePrometheus(f, "tiscc", man.MergedMetrics()); err != nil {
-		f.Close()
-		return err
-	}
-	if err := telemetry.WriteSpansPrometheus(f, "tiscc", man.Spans); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 // startProfiles enables the requested pprof/trace collectors and returns the

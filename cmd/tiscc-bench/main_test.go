@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"os/exec"
@@ -93,10 +94,13 @@ func TestCLIErrorPaths(t *testing.T) {
 		{"zero-shots", []string{"-noise", "-shots", "0"}, "-shots must be ≥ 1"},
 		{"negative-workers", []string{"-noise", "-workers", "-1"}, "-workers must be ≥ 0"},
 		{"bad-engine", []string{"-noise", "-engine", "stim"}, "-engine must be frame, sliced or rowmajor"},
-		{"json-alone", []string{"-json"}, "-json requires -simbench or -noise"},
-		{"json-with-table", []string{"-table", "1", "-json"}, "-json requires -simbench or -noise"},
-		{"metrics-without-noise", []string{"-simbench", "-metrics", "run.json"}, "-metrics requires -noise"},
-		{"prom-without-noise", []string{"-verify", "-prom", "run.prom"}, "-prom requires -noise"},
+		{"json-alone", []string{"-json"}, "-json requires -simbench, -noise or -surgery"},
+		{"json-with-table", []string{"-table", "1", "-json"}, "-json requires -simbench, -noise or -surgery"},
+		{"metrics-without-noise", []string{"-simbench", "-metrics", "run.json"}, "-metrics requires -noise or -surgery"},
+		{"prom-without-noise", []string{"-verify", "-prom", "run.prom"}, "-prom requires -noise or -surgery"},
+		{"diag-without-sweep", []string{"-verify", "-diag"}, "-diag requires -noise or -surgery"},
+		{"dem-calib-without-decode", []string{"-noise", "-dem-calib"}, "-dem-calib requires a decoded sweep"},
+		{"progress-without-sweep", []string{"-simbench", "-progress"}, "-progress requires -noise or -surgery"},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -268,5 +272,133 @@ func TestNoiseJSONManifest(t *testing.T) {
 		if pt.Metrics["sampler"].Counter("shots") < 128 {
 			t.Fatalf("point %d sampler shots %d", i, pt.Metrics["sampler"].Counter("shots"))
 		}
+	}
+}
+
+// TestSurgeryJSONManifest checks that -surgery on its own (no -noise) runs
+// the sweep and that -json is accepted with it: the manifest must carry
+// surgery-labeled points.
+func TestSurgeryJSONManifest(t *testing.T) {
+	if os.Getenv("TISCC_BENCH_RUN_MAIN") == "1" {
+		flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ExitOnError)
+		os.Args = append([]string{"tiscc-bench"}, strings.Split(os.Getenv("TISCC_BENCH_ARGS"), "\x1f")...)
+		main()
+		os.Exit(0)
+	}
+	out := runCLI(t, "TestSurgeryJSONManifest", []string{
+		"-surgery", "-json", "-dlist", "3", "-plist", "3e-3", "-shots", "64",
+	})
+	start := strings.Index(out, "{")
+	end := strings.LastIndex(out, "}")
+	if start < 0 || end < start {
+		t.Fatalf("no JSON in output:\n%s", out)
+	}
+	path := filepath.Join(t.TempDir(), "stdout.json")
+	if err := os.WriteFile(path, []byte(out[start:end+1]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	man, err := telemetry.ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := man.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Points) != 1 {
+		t.Fatalf("manifest has %d points, want 1", len(man.Points))
+	}
+	if got := man.Points[0].Labels["workload"]; got != "surgery" {
+		t.Fatalf("point workload %v, want surgery", got)
+	}
+	if man.Config["workload"] != "surgery" {
+		t.Fatalf("config workload %v, want surgery", man.Config["workload"])
+	}
+}
+
+// TestDiagManifest runs a decoded sweep with the full diagnostics surface on
+// (-diag -dem-calib -progress) and checks the extended manifest sections:
+// attribution contributions summing to p_L, a calibration block with one row
+// per detector, error_budget counters in the merged metrics, and a
+// well-formed NDJSON progress stream.
+func TestDiagManifest(t *testing.T) {
+	if os.Getenv("TISCC_BENCH_RUN_MAIN") == "1" {
+		flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ExitOnError)
+		os.Args = append([]string{"tiscc-bench"}, strings.Split(os.Getenv("TISCC_BENCH_ARGS"), "\x1f")...)
+		main()
+		os.Exit(0)
+	}
+	dir := t.TempDir()
+	manPath := filepath.Join(dir, "run.json")
+	progPath := filepath.Join(dir, "progress.ndjson")
+	out := runCLI(t, "TestDiagManifest", []string{
+		"-noise", "-decode", "-dlist", "3", "-plist", "3e-3",
+		"-shots", "512", "-seed", "1",
+		"-diag", "-dem-calib", "-progress=" + progPath, "-metrics", manPath,
+	})
+	if !strings.Contains(out, "error budget:") || !strings.Contains(out, "detector calibration:") {
+		t.Fatalf("diagnostics tables missing from output:\n%s", out)
+	}
+	man, err := telemetry.ReadManifest(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := man.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pt := man.Points[0]
+	att, ok := pt.Attribution.(map[string]any)
+	if !ok {
+		t.Fatalf("point attribution is %T, want an object", pt.Attribution)
+	}
+	pl := att["p_l"].(float64)
+	var sum float64
+	for _, ch := range att["channels"].([]any) {
+		sum += ch.(map[string]any)["p_l_contribution"].(float64)
+	}
+	if diff := sum - pl; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("attribution contributions sum to %v, p_L is %v", sum, pl)
+	}
+	dets, ok := pt.Detectors.(map[string]any)
+	if !ok {
+		t.Fatalf("point detectors is %T, want an object", pt.Detectors)
+	}
+	if n := len(dets["detectors"].([]any)); n == 0 {
+		t.Fatal("detectors section has no rows")
+	}
+	if pt.Metrics["error_budget"] == nil {
+		t.Fatal("point metrics missing error_budget")
+	}
+	if pt.Metrics["error_budget"].Counter("shots") != 512 {
+		t.Fatalf("error_budget shots %d, want 512", pt.Metrics["error_budget"].Counter("shots"))
+	}
+	prog, err := os.ReadFile(progPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(prog)), "\n")
+	if len(lines) < 3 { // start + ≥1 batch + done
+		t.Fatalf("progress stream has %d events, want ≥ 3:\n%s", len(lines), prog)
+	}
+	prevDone := -1
+	for i, ln := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("progress line %d is not JSON: %v\n%s", i, err, ln)
+		}
+		if ev["schema"] != "tiscc.progress/v1" {
+			t.Fatalf("progress line %d schema %v", i, ev["schema"])
+		}
+		done := int(ev["done"].(float64))
+		if done < prevDone {
+			t.Fatalf("progress done went backwards: %d after %d", done, prevDone)
+		}
+		prevDone = done
+	}
+	var last map[string]any
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last["event"] != "done" || int(last["done"].(float64)) != 512 {
+		t.Fatalf("final progress event %v", last)
 	}
 }

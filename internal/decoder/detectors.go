@@ -96,6 +96,27 @@ func (d *Detectors) RawOutcome(records map[int32]bool) bool {
 	return v
 }
 
+// Syndrome appends the ids of the detectors a shot fires — those whose
+// record XOR differs from the deterministic reference — to buf and returns
+// it. It is the same evaluation the union-find decoder performs per shot,
+// exposed for the diagnostics layer's calibration and failure-localization
+// accumulators; with a caller-reused buf it does not allocate.
+func (d *Detectors) Syndrome(records map[int32]bool, buf []int32) []int32 {
+	for i := range d.Dets {
+		det := &d.Dets[i]
+		v := det.Ref
+		for _, id := range det.Recs {
+			if records[id] {
+				v = !v
+			}
+		}
+		if v {
+			buf = append(buf, int32(i))
+		}
+	}
+	return buf
+}
+
 // Extract walks the record tables of a compiled memory experiment and emits
 // its detector/observable structure:
 //

@@ -1,0 +1,44 @@
+package decoder
+
+import "tiscc/internal/noise"
+
+// Mechanism is the public view of one elementary error mechanism: a fault
+// branch's firing probability, the sorted detector ids it flips, and whether
+// it flips the logical observable. It is the unit the diagnostics layer
+// consumes for DEM-predicted detector statistics.
+type Mechanism struct {
+	P    float64
+	Dets []int32 // sorted; aliases internal scratch, valid only during visit
+	Obs  bool
+}
+
+// ForEachMechanism enumerates every (fault, branch) of the schedule compiled
+// against the detector structure, propagating each branch through the lowered
+// instruction stream as a Pauli frame and handing the resulting mechanism to
+// visit. Branches with empty symptom and no observable effect are skipped.
+// The Dets slice passed to visit is only valid during the call.
+func ForEachMechanism(d *Detectors, s *noise.Schedule, visit func(m Mechanism) error) error {
+	return forEachMechanism(d, s, func(m mechanism) error {
+		return visit(Mechanism{P: m.p, Dets: m.dets, Obs: m.obs})
+	})
+}
+
+// PredictedDetectorRates returns, per detector, the fire probability the
+// detector error model predicts: the odd-fire combination (p ⊕ q = p + q −
+// 2pq) of every mechanism whose symptom contains the detector, mechanisms
+// treated as independent — exactly the marginal a calibrated sampler should
+// reproduce. The Stim-style calibration check compares these against
+// observed per-shot fire rates.
+func PredictedDetectorRates(d *Detectors, s *noise.Schedule) ([]float64, error) {
+	rates := make([]float64, len(d.Dets))
+	err := forEachMechanism(d, s, func(m mechanism) error {
+		for _, di := range m.dets {
+			rates[di] = mergeP(rates[di], m.p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rates, nil
+}

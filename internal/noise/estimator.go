@@ -53,6 +53,29 @@ type Options struct {
 	// plugs into the estimator without this package importing it; it must
 	// have been compiled against the same schedule.
 	Sampler RecordSampler
+	// Observer, when non-nil, receives every sampled shot's judged outcome
+	// (the diagnostics layer's attribution/calibration hook). Calls may be
+	// concurrent for distinct shots and the records map is only valid during
+	// the call. Observation happens outside the counting fold and touches no
+	// RNG stream, so results stay bit-identical with and without it; in an
+	// early-stopped run the observer may see a handful of sampled shots
+	// beyond the counted prefix. The default nil path is untouched (the
+	// noisy shot loop keeps 0 allocs/shot).
+	Observer ShotObserver
+	// Progress, when non-nil, is called at every Batch boundary of the
+	// in-order error fold with the counted prefix so far — the streaming
+	// heartbeat hook (-progress). Enabling it routes the no-early-stop path
+	// through the same strict-shot-order fold the early-stopping path uses;
+	// the counted result is identical either way.
+	Progress func(done, errors int, stopped bool)
+}
+
+// ShotObserver receives judged per-shot outcomes from the estimator: shot is
+// the shot index (its records derive from orqcs.ShotSeed(Options.Seed, shot)),
+// bad reports whether the shot's logical outcome disagreed with the noiseless
+// reference. Implementations must be safe for concurrent use.
+type ShotObserver interface {
+	ObserveShot(shot int, bad bool, records map[int32]bool)
 }
 
 // RecordSampler produces the record tables of noisy shots without exposing
@@ -230,11 +253,21 @@ func EstimateLogicalError(s *Schedule, outcome expr.Expr, reference bool, opt Op
 		return orqcs.RunShotsRange(s.prog, 0, shots, opt.Seed, opt.Workers, s.RunShot,
 			func(i int, e *orqcs.Engine) error { return visit(i, e.Records()) })
 	}
-	if opt.TargetStdErr <= 0 {
-		// No stopping checks: a plain order-independent count suffices.
+	// judged evaluates one shot and feeds the observer before the outcome
+	// enters the counting fold, so observation can never perturb counting.
+	judged := func(i int, records map[int32]bool) bool {
+		bad := judge(records)
+		if opt.Observer != nil {
+			opt.Observer.ObserveShot(i, bad, records)
+		}
+		return bad
+	}
+	if opt.TargetStdErr <= 0 && opt.Progress == nil {
+		// No stopping checks and no progress stream: a plain
+		// order-independent count suffices.
 		var errCount atomic.Int64
 		err := sample(func(i int, records map[int32]bool) error {
-			if judge(records) {
+			if judged(i, records) {
 				errCount.Add(1)
 			}
 			return nil
@@ -248,9 +281,9 @@ func EstimateLogicalError(s *Schedule, outcome expr.Expr, reference bool, opt Op
 	if batch == 0 {
 		batch = 256
 	}
-	st := &stopFold{batch: batch, target: opt.TargetStdErr, pending: map[int]bool{}}
+	st := &stopFold{batch: batch, target: opt.TargetStdErr, onBatch: opt.Progress, pending: map[int]bool{}}
 	err := sample(func(i int, records map[int32]bool) error {
-		return st.add(i, judge(records))
+		return st.add(i, judged(i, records))
 	})
 	if err != nil && err != errStop {
 		return Result{}, err
@@ -276,9 +309,10 @@ type stopFold struct {
 	mu               sync.Mutex
 	next, errs, done int
 	batch            int
-	target           float64
+	target           float64 // ≤ 0: fold for progress only, never stop
 	stopped          bool
-	stopBatch        int // 1-based batch index at which the run stopped, 0 if never
+	stopBatch        int                             // 1-based batch index at which the run stopped, 0 if never
+	onBatch          func(done, errs int, stop bool) // progress hook, may be nil
 	pending          map[int]bool
 }
 
@@ -313,8 +347,14 @@ func (st *stopFold) fold(bad bool) {
 	}
 	st.next++
 	st.done++
-	if st.done%st.batch == 0 && wilsonStdErr(st.errs, st.done) <= st.target {
+	if st.done%st.batch != 0 {
+		return
+	}
+	if st.target > 0 && wilsonStdErr(st.errs, st.done) <= st.target {
 		st.stopped = true
 		st.stopBatch = st.done / st.batch
+	}
+	if st.onBatch != nil {
+		st.onBatch(st.done, st.errs, st.stopped)
 	}
 }

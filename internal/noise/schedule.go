@@ -29,6 +29,41 @@ func (k FaultKind) String() string {
 	return [...]string{"depol1", "depol2", "flipX", "dephase"}[k]
 }
 
+// NumFaultKinds is the number of distinct FaultKind values.
+const NumFaultKinds = 4
+
+// GateClass names the compiled origin of a fault site — which gate-level
+// channel of the model charged it. Together with the site's FaultKind it
+// identifies an error-budget channel (e.g. two-qubit-gate depolarizing vs
+// transport heating, both FaultDepol1/FaultDepol2 sampling rules), the
+// granularity at which the diagnostics layer attributes logical failures.
+type GateClass uint8
+
+// Gate classes, in Compile's charging order.
+const (
+	// ClassPrep marks preparation flips (PPrep), including constant-folded
+	// first-touch preparations.
+	ClassPrep GateClass = iota
+	// ClassMeas marks measurement flips (PMeas).
+	ClassMeas
+	// ClassTwoQubit marks two-qubit ZZ-gate depolarizing (P2).
+	ClassTwoQubit
+	// ClassOneQubitZ marks Z-bus one-qubit rotation depolarizing (P1Z).
+	ClassOneQubitZ
+	// ClassOneQubit marks X/Y-bus one-qubit rotation depolarizing (P1).
+	ClassOneQubit
+	// ClassIdle marks T2 idle dephasing charged from schedule gaps.
+	ClassIdle
+	// ClassTransport marks transport-heating depolarizing (PMove).
+	ClassTransport
+	// NumGateClasses is the number of distinct gate classes.
+	NumGateClasses
+)
+
+func (c GateClass) String() string {
+	return [...]string{"prep", "meas", "twoq", "oneq_z", "oneq_xy", "idle", "transport"}[c]
+}
+
 // Fault is one potential stochastic error location in a compiled schedule.
 type Fault struct {
 	P      float64 // total firing probability
@@ -46,7 +81,8 @@ type Schedule struct {
 	prog   *orqcs.Program
 	model  Model
 	faults []Fault
-	start  []int32 // CSR offsets: slot i is faults[start[i]:start[i+1]]
+	class  []GateClass // per-site gate class, parallel to faults
+	start  []int32     // CSR offsets: slot i is faults[start[i]:start[i+1]]
 	// thresh[k] = faults[k].P · 2⁵³: the firing test u < P on the raw 53-bit
 	// draw, avoiding the uniform's division on the batch sampler's hot path.
 	// Both sides are exact (power-of-two scaling), so the comparison is
@@ -76,6 +112,15 @@ func (s *Schedule) SlotFaults(slot int) []Fault {
 	return s.faults[s.start[slot]:s.start[slot+1]]
 }
 
+// SiteFault returns fault site k of the flat fault table — the site indexed
+// by FiredFaults replay output.
+func (s *Schedule) SiteFault(k int) Fault { return s.faults[k] }
+
+// SiteClass returns the gate class of fault site k: which model channel
+// charged the site at compile time. Together with SiteFault(k).Kind it names
+// the site's error-budget channel.
+func (s *Schedule) SiteClass(k int) GateClass { return s.class[k] }
+
 // Compile flattens a noise model against a lowered program. Idle-dephasing
 // probabilities are evaluated here, once, from the per-instruction schedule
 // gaps the lowering pass recorded, so the per-shot loop never touches the
@@ -84,32 +129,34 @@ func Compile(m Model, p *orqcs.Program) *Schedule {
 	s := &Schedule{prog: p, model: m}
 	instrs := p.Instructions()
 	slots := make([][]Fault, len(instrs)+1)
-	add := func(slot int, f Fault) {
+	classes := make([][]GateClass, len(instrs)+1)
+	add := func(slot int, f Fault, c GateClass) {
 		if f.P > 1 {
 			f.P = 1 // defense against out-of-range models; see Model.Validate
 		}
 		if f.P > 0 {
 			slots[slot] = append(slots[slot], f)
+			classes[slot] = append(classes[slot], c)
 		}
 	}
 	// pre emits the gap-derived channels of one operand before slot i.
 	pre := func(slot int, q int32, idleNs int64, moves int32) {
 		if m.T2 > 0 && idleNs > 0 {
 			pz := (1 - math.Exp(-float64(idleNs)/m.T2)) / 2
-			add(slot, Fault{P: pz, Q1: q, Kind: FaultDephase})
+			add(slot, Fault{P: pz, Q1: q, Kind: FaultDephase}, ClassIdle)
 		}
 		if m.PMove > 0 && moves > 0 {
 			// k per-step depolarizings compose to one: each step shrinks the
 			// Bloch vector by (1 − 4p/3), so the net channel is depolarizing
 			// with probability (3/4)(1 − (1 − 4p/3)^k).
 			pk := 0.75 * (1 - math.Pow(1-4*m.PMove/3, float64(moves)))
-			add(slot, Fault{P: pk, Q1: q, Kind: FaultDepol1})
+			add(slot, Fault{P: pk, Q1: q, Kind: FaultDepol1}, ClassTransport)
 		}
 	}
 	// Constant-folded first-touch preparations still suffer SPAM errors:
 	// charge PPrep at the stream position each folded prep precedes.
 	for _, f := range p.FoldedPreps() {
-		add(int(f.Slot), Fault{P: m.PPrep, Q1: f.Q, Kind: FaultFlipX})
+		add(int(f.Slot), Fault{P: m.PPrep, Q1: f.Q, Kind: FaultFlipX}, ClassPrep)
 	}
 	for i := range instrs {
 		in := &instrs[i]
@@ -120,15 +167,15 @@ func Compile(m Model, p *orqcs.Program) *Schedule {
 		}
 		switch in.Op {
 		case orqcs.OpPrepareZ:
-			add(i+1, Fault{P: m.PPrep, Q1: in.Q1, Kind: FaultFlipX})
+			add(i+1, Fault{P: m.PPrep, Q1: in.Q1, Kind: FaultFlipX}, ClassPrep)
 		case orqcs.OpMeasureZ:
-			add(i, Fault{P: m.PMeas, Q1: in.Q1, Kind: FaultFlipX})
+			add(i, Fault{P: m.PMeas, Q1: in.Q1, Kind: FaultFlipX}, ClassMeas)
 		case orqcs.OpZZ:
-			add(i+1, Fault{P: m.P2, Q1: in.Q1, Q2: in.Q2, Kind: FaultDepol2})
+			add(i+1, Fault{P: m.P2, Q1: in.Q1, Q2: in.Q2, Kind: FaultDepol2}, ClassTwoQubit)
 		case orqcs.OpZ, orqcs.OpS, orqcs.OpSdg, orqcs.OpT, orqcs.OpTdg:
-			add(i+1, Fault{P: m.P1Z, Q1: in.Q1, Kind: FaultDepol1})
+			add(i+1, Fault{P: m.P1Z, Q1: in.Q1, Kind: FaultDepol1}, ClassOneQubitZ)
 		default: // X/Y-bus one-qubit rotations
-			add(i+1, Fault{P: m.P1, Q1: in.Q1, Kind: FaultDepol1})
+			add(i+1, Fault{P: m.P1, Q1: in.Q1, Kind: FaultDepol1}, ClassOneQubit)
 		}
 	}
 	s.start = make([]int32, len(slots)+1)
@@ -139,8 +186,10 @@ func Compile(m Model, p *orqcs.Program) *Schedule {
 	}
 	s.start[len(slots)] = int32(total)
 	s.faults = make([]Fault, 0, total)
-	for _, sl := range slots {
+	s.class = make([]GateClass, 0, total)
+	for i, sl := range slots {
 		s.faults = append(s.faults, sl...)
+		s.class = append(s.class, classes[i]...)
 	}
 	s.thresh = make([]float64, len(s.faults))
 	for i := range s.faults {

@@ -60,6 +60,13 @@ type Point struct {
 	Labels  map[string]any       `json:"labels"`
 	Result  map[string]any       `json:"result,omitempty"`
 	Metrics map[string]*Snapshot `json:"metrics,omitempty"`
+	// Attribution and Detectors are the optional diagnostics sections
+	// (internal/diag): the -diag error-budget attribution table and the
+	// -dem-calib per-detector calibration report. They are additive —
+	// schema version 1 consumers that predate them ignore the keys — and
+	// opaque to the telemetry layer, which only round-trips them as JSON.
+	Attribution any `json:"attribution,omitempty"`
+	Detectors   any `json:"detectors,omitempty"`
 }
 
 // Manifest is the structured record of one CLI run: provenance, config,
@@ -185,6 +192,25 @@ func (m *Manifest) Validate() error {
 		}
 	}
 	return nil
+}
+
+// WritePrometheusFile renders the manifest's aggregate metrics and stage
+// spans in the Prometheus text exposition format under the given namespace.
+// It is the shared implementation behind both CLIs' -prom flag.
+func (m *Manifest) WritePrometheusFile(path, namespace string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WritePrometheus(f, namespace, m.MergedMetrics()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := WriteSpansPrometheus(f, namespace, m.Spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // SpanSecondsTotal sums the durations of all spans, in seconds. A healthy

@@ -4,7 +4,66 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 )
+
+// promName sanitizes one metric-name fragment to the exposition grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*: every byte outside it becomes '_', and an empty
+// fragment becomes a single '_' so joined names never collapse. Fragments are
+// sanitized individually (namespace, component, instrument) before joining
+// with '_'; a digit-leading fragment is legal anywhere but first, which
+// promMetric guards.
+func promName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':',
+			c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promMetric joins sanitized name fragments into one metric name. The grammar
+// forbids a leading digit, and the first fragment (the namespace) leads the
+// joined name, so a digit-leading result gets a '_' prefix.
+func promMetric(parts ...string) string {
+	for i, p := range parts {
+		parts[i] = promName(p)
+	}
+	name := strings.Join(parts, "_")
+	if name[0] >= '0' && name[0] <= '9' {
+		name = "_" + name
+	}
+	return name
+}
+
+// escapeLabel renders a label value with the exposition format's three
+// escape sequences (backslash, double quote, line feed); every other byte
+// passes through verbatim, as the format allows arbitrary UTF-8.
+func escapeLabel(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
 
 // WritePrometheus renders component snapshots in the Prometheus text
 // exposition format (version 0.0.4). Counters become
@@ -23,14 +82,14 @@ func WritePrometheus(w io.Writer, namespace string, snaps map[string]*Snapshot) 
 			continue
 		}
 		for i, name := range snap.schema.Counters {
-			metric := fmt.Sprintf("%s_%s_%s_total", namespace, comp, name)
+			metric := promMetric(namespace, comp, name) + "_total"
 			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", metric, metric, snap.Counters[i]); err != nil {
 				return err
 			}
 		}
 		for i, name := range snap.schema.Hists {
 			h := &snap.Hists[i]
-			metric := fmt.Sprintf("%s_%s_%s", namespace, comp, name)
+			metric := promMetric(namespace, comp, name)
 			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", metric); err != nil {
 				return err
 			}
@@ -71,14 +130,14 @@ func WriteSpansPrometheus(w io.Writer, namespace string, spans []Span) error {
 		totals[s.Name] += s.MS / 1e3
 	}
 	sort.Strings(names)
-	metric := namespace + "_stage_seconds"
+	metric := promMetric(namespace) + "_stage_seconds"
 	if len(names) > 0 {
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", metric); err != nil {
 			return err
 		}
 	}
 	for _, n := range names {
-		if _, err := fmt.Fprintf(w, "%s{stage=%q} %g\n", metric, n, totals[n]); err != nil {
+		if _, err := fmt.Fprintf(w, "%s{stage=\"%s\"} %g\n", metric, escapeLabel(n), totals[n]); err != nil {
 			return err
 		}
 	}

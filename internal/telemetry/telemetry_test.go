@@ -3,6 +3,8 @@ package telemetry
 import (
 	"encoding/json"
 	"math/bits"
+	"math/rand"
+	"regexp"
 	"strings"
 	"testing"
 	"time"
@@ -288,6 +290,115 @@ func TestSpans(t *testing.T) {
 	}
 	if got[1].MS < 1 {
 		t.Fatalf("span a measured %v ms, want ≥ 1", got[1].MS)
+	}
+}
+
+// TestMergeSchemaMismatch exercises the Merge error paths one by one: fewer
+// counters, more counters, and a different histogram count must each be
+// rejected with the mismatch message, and a failed merge must leave the
+// receiver's counts untouched.
+func TestMergeSchemaMismatch(t *testing.T) {
+	mismatched := []struct {
+		name   string
+		schema *Schema
+	}{
+		{"fewer-counters", &Schema{Component: "test", Counters: []string{"alpha"}, Hists: []string{"sizes"}}},
+		{"more-counters", &Schema{Component: "test", Counters: []string{"alpha", "beta", "gamma"}, Hists: []string{"sizes"}}},
+		{"no-hists", &Schema{Component: "test", Counters: []string{"alpha", "beta"}}},
+		{"more-hists", &Schema{Component: "test", Counters: []string{"alpha", "beta"}, Hists: []string{"sizes", "extra"}}},
+	}
+	for _, tc := range mismatched {
+		t.Run(tc.name, func(t *testing.T) {
+			set := NewSet(testSchema)
+			fill(set.NewShard(), 0, 10)
+			snap := set.Snapshot()
+			err := snap.Merge(NewSnapshot(tc.schema))
+			if err == nil {
+				t.Fatal("Merge accepted a snapshot with a different schema")
+			}
+			if !strings.Contains(err.Error(), "merging mismatched snapshots") {
+				t.Fatalf("error %q does not name the mismatch", err)
+			}
+			if got := snap.Counter("alpha"); got != 10 {
+				t.Fatalf("failed merge mutated the receiver: alpha=%d, want 10", got)
+			}
+			if got := snap.Hist("sizes").Count; got != 10 {
+				t.Fatalf("failed merge mutated the receiver: hist count=%d, want 10", got)
+			}
+		})
+	}
+	// Equal instrument counts under different names are indistinguishable by
+	// shape and merge positionally — pin that this is accepted, so schema
+	// identity is the caller's responsibility (as MergedMetrics does by key).
+	snap := NewSet(testSchema).Snapshot()
+	renamed := NewSnapshot(&Schema{Component: "test", Counters: []string{"a2", "b2"}, Hists: []string{"h2"}})
+	if err := snap.Merge(renamed); err != nil {
+		t.Fatalf("same-shape merge rejected: %v", err)
+	}
+}
+
+// promNameRE is the exposition-format metric name grammar. Fragments are
+// sanitized individually and joined with '_', so the joined name always has a
+// legal leading character.
+var promNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// promLineRE matches one sample line: a legal metric name, an optional label
+// set whose values use only the three escape sequences (no raw quote, newline
+// or stray backslash), and a value.
+var promLineRE = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\\\|\\"|\\n|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\\\|\\"|\\n|[^"\\])*")*\})? -?[0-9+.eEIinf]+$`)
+
+// hostileString draws a short string over an alphabet chosen to break naive
+// exposition writers: quotes, backslashes, newlines, braces, spaces, UTF-8.
+func hostileString(rng *rand.Rand) string {
+	alphabet := []rune{'a', 'Z', '0', '9', '_', ':', '-', ' ', '"', '\\', '\n', '{', '}', '=', ',', '.', 'é', '界'}
+	n := rng.Intn(8)
+	rs := make([]rune, n)
+	for i := range rs {
+		rs[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(rs)
+}
+
+// TestPrometheusEscapingProperty is the escaping property test: for generated
+// hostile namespace, component, instrument and span names, every line the
+// writers emit must still parse under the exposition grammar — metric names
+// sanitized, label values escaped, one sample per line.
+func TestPrometheusEscapingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		schema := &Schema{
+			Component: hostileString(rng),
+			Counters:  []string{hostileString(rng), hostileString(rng)},
+			Hists:     []string{hostileString(rng)},
+		}
+		set := NewSet(schema)
+		sh := set.NewShard()
+		sh.Inc(0)
+		sh.Add(1, uint64(rng.Intn(100)))
+		sh.Observe(0, uint64(rng.Intn(1<<20)))
+		var b strings.Builder
+		ns := hostileString(rng)
+		if err := WritePrometheus(&b, ns, map[string]*Snapshot{schema.Component: set.Snapshot()}); err != nil {
+			t.Fatal(err)
+		}
+		spans := []Span{{Name: hostileString(rng), MS: 12}, {Name: hostileString(rng), MS: 34}}
+		if err := WriteSpansPrometheus(&b, ns, spans); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+			if name, ok := strings.CutPrefix(line, "# TYPE "); ok {
+				fields := strings.Fields(name)
+				if len(fields) != 2 || !promNameRE.MatchString(fields[0]) {
+					t.Fatalf("iter %d: bad TYPE line %q", iter, line)
+				}
+				continue
+			}
+			if !promLineRE.MatchString(line) {
+				t.Fatalf("iter %d: unparseable sample line %q (namespace %q, component %q)",
+					iter, line, ns, schema.Component)
+			}
+		}
 	}
 }
 
