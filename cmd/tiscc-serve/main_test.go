@@ -1,0 +1,62 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func becomeCLI() {
+	flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ExitOnError)
+	args := []string{"tiscc-serve"}
+	if env := os.Getenv("TISCC_SERVE_ARGS"); env != "" {
+		args = append(args, strings.Split(env, "\x1f")...)
+	}
+	os.Args = args
+	main()
+	os.Exit(0)
+}
+
+// TestCLIFlagValidation re-executes the test binary as the tiscc-serve CLI
+// with invalid flags and asserts each run exits with a usage error (status 2)
+// instead of starting a listener or panicking.
+func TestCLIFlagValidation(t *testing.T) {
+	if os.Getenv("TISCC_SERVE_RUN_MAIN") == "1" {
+		becomeCLI()
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero-cache", []string{"-cache-mb", "0"}, "-cache-mb must be at least 1"},
+		{"negative-cache", []string{"-cache-mb", "-64"}, "-cache-mb must be at least 1"},
+		{"bad-addr", []string{"-addr", "no-port-here"}, "invalid -addr"},
+		{"stray-positional", []string{"serve"}, `unexpected argument "serve"`},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(os.Args[0], "-test.run", "TestCLIFlagValidation")
+			cmd.Env = append(os.Environ(),
+				"TISCC_SERVE_RUN_MAIN=1",
+				"TISCC_SERVE_ARGS="+strings.Join(tc.args, "\x1f"))
+			out, err := cmd.CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("args %v: expected a usage-error exit, got err=%v output=%q", tc.args, err, out)
+			}
+			if code := ee.ExitCode(); code != 2 {
+				t.Fatalf("args %v: exit code %d, want 2; output:\n%s", tc.args, code, out)
+			}
+			if strings.Contains(string(out), "panic:") || strings.Contains(string(out), "goroutine ") {
+				t.Fatalf("args %v: CLI panicked:\n%s", tc.args, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Fatalf("args %v: output missing %q:\n%s", tc.args, tc.want, out)
+			}
+		})
+	}
+}

@@ -25,6 +25,12 @@ import (
 	"tiscc/internal/resource"
 )
 
+func usageErr(msg string) {
+	fmt.Fprintf(os.Stderr, "tiscc: %s\n", msg)
+	flag.Usage()
+	os.Exit(2)
+}
+
 func main() {
 	var (
 		op        = flag.String("op", "idle", "operation to compile")
@@ -37,7 +43,21 @@ func main() {
 		outFile   = flag.String("o", "", "write the circuit to a file")
 	)
 	flag.Parse()
-	if *dt <= 0 {
+	if flag.NArg() > 0 {
+		usageErr(fmt.Sprintf("unexpected argument %q", flag.Arg(0)))
+	}
+	if *dx < 2 {
+		usageErr(fmt.Sprintf("-dx must be at least 2, got %d", *dx))
+	}
+	if *dz < 2 {
+		usageErr(fmt.Sprintf("-dz must be at least 2, got %d", *dz))
+	}
+	// -dt 0 means "default to max(dx, dz)"; a negative value is an error,
+	// not a request for the default.
+	if *dt < 0 {
+		usageErr(fmt.Sprintf("-dt must not be negative, got %d (omit it or pass 0 for the default)", *dt))
+	}
+	if *dt == 0 {
 		*dt = *dx
 		if *dz > *dx {
 			*dt = *dz

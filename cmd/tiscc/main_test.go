@@ -1,0 +1,111 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// reexec runs the test binary as the tiscc CLI with args and returns the
+// combined output plus the exit code.
+func reexec(t *testing.T, testName string, args []string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", testName)
+	cmd.Env = append(os.Environ(),
+		"TISCC_RUN_MAIN=1",
+		"TISCC_ARGS="+strings.Join(args, "\x1f"))
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("args %v: could not run CLI: %v\n%s", args, err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+func becomeCLI() {
+	flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ExitOnError)
+	args := []string{"tiscc"}
+	if env := os.Getenv("TISCC_ARGS"); env != "" {
+		args = append(args, strings.Split(env, "\x1f")...)
+	}
+	os.Args = args
+	main()
+	os.Exit(0)
+}
+
+// TestCLIFlagValidation re-executes the test binary as the tiscc CLI with
+// invalid distances and asserts each run exits with a usage error (status 2,
+// "tiscc:" message). Before the fix, a negative -dt was silently coerced to
+// the default instead of being rejected.
+func TestCLIFlagValidation(t *testing.T) {
+	if os.Getenv("TISCC_RUN_MAIN") == "1" {
+		becomeCLI()
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative-dt", []string{"-op", "idle", "-dt", "-3"}, "-dt must not be negative"},
+		{"zero-dx", []string{"-op", "idle", "-dx", "0"}, "-dx must be at least 2"},
+		{"negative-dx", []string{"-op", "idle", "-dx", "-5"}, "-dx must be at least 2"},
+		{"dx-one", []string{"-op", "idle", "-dx", "1"}, "-dx must be at least 2"},
+		{"zero-dz", []string{"-op", "idle", "-dz", "0"}, "-dz must be at least 2"},
+		{"negative-dz", []string{"-op", "idle", "-dz", "-1"}, "-dz must be at least 2"},
+		{"stray-positional", []string{"-op", "idle", "extra"}, `unexpected argument "extra"`},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			out, code := reexec(t, "TestCLIFlagValidation", tc.args)
+			if code != 2 {
+				t.Fatalf("args %v: exit code %d, want 2; output:\n%s", tc.args, code, out)
+			}
+			if strings.Contains(out, "panic:") || strings.Contains(out, "goroutine ") {
+				t.Fatalf("args %v: CLI panicked:\n%s", tc.args, out)
+			}
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("args %v: output missing %q:\n%s", tc.args, tc.want, out)
+			}
+		})
+	}
+}
+
+// TestCLIUnknownOperation covers the pre-existing run() error path: a bogus
+// -op is a runtime error (exit 1), not a usage error.
+func TestCLIUnknownOperation(t *testing.T) {
+	if os.Getenv("TISCC_RUN_MAIN") == "1" {
+		becomeCLI()
+	}
+	out, code := reexec(t, "TestCLIUnknownOperation", []string{"-op", "bogus"})
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, `unknown operation "bogus"`) {
+		t.Fatalf("output missing unknown-operation message:\n%s", out)
+	}
+	if strings.Contains(out, "panic:") || strings.Contains(out, "goroutine ") {
+		t.Fatalf("CLI panicked:\n%s", out)
+	}
+}
+
+// TestCLIHappyPath compiles a small idle operation end to end, including the
+// -dt 0 → max(dx, dz) default that must keep working after the fix.
+func TestCLIHappyPath(t *testing.T) {
+	if os.Getenv("TISCC_RUN_MAIN") == "1" {
+		becomeCLI()
+	}
+	out, code := reexec(t, "TestCLIHappyPath", []string{"-op", "idle", "-dx", "3", "-dz", "2"})
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0; output:\n%s", code, out)
+	}
+	// -dt omitted: defaults to max(dx, dz) = 3.
+	if !strings.Contains(out, "op=idle dx=3 dz=2 dt=3") {
+		t.Fatalf("output missing resource header with defaulted dt:\n%s", out)
+	}
+}

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestLockedConcurrent hammers a Locked set from many goroutines while
+// snapshotting concurrently; run under -race this pins the thread-safety
+// contract that Set/Shard explicitly do not offer.
+func TestLockedConcurrent(t *testing.T) {
+	l := NewLocked(testSchema)
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				l.Inc(0)
+				l.Add(1, 2)
+				l.Observe(0, uint64(i))
+				_ = l.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := l.Snapshot()
+	if err := snap.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counter("alpha"); got != workers*perWorker {
+		t.Fatalf("alpha = %d, want %d", got, workers*perWorker)
+	}
+	if got := snap.Counter("beta"); got != 2*workers*perWorker {
+		t.Fatalf("beta = %d, want %d", got, 2*workers*perWorker)
+	}
+	if h := snap.Hist("sizes"); h == nil || h.Count != workers*perWorker {
+		t.Fatalf("sizes histogram = %+v", h)
+	}
+}
+
+// TestLockedSnapshotIsolated pins that a snapshot is a copy: increments
+// after the snapshot must not leak into it.
+func TestLockedSnapshotIsolated(t *testing.T) {
+	l := NewLocked(testSchema)
+	l.Inc(0)
+	l.Observe(0, 3)
+	snap := l.Snapshot()
+	l.Inc(0)
+	l.Observe(0, 5)
+	if got := snap.Counter("alpha"); got != 1 {
+		t.Fatalf("snapshot alpha mutated: %d", got)
+	}
+	if h := snap.Hist("sizes"); h.Count != 1 || h.Sum != 3 {
+		t.Fatalf("snapshot histogram mutated: %+v", h)
+	}
+	if got := l.Counter(0); got != 2 {
+		t.Fatalf("live alpha = %d, want 2", got)
+	}
+}

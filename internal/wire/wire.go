@@ -1,0 +1,204 @@
+// Package wire provides the little-endian append/read primitives shared by
+// the compiled-artifact serializers (orqcs.Program, noise.Schedule,
+// decoder.Graph). Encoders are append-style and never fail; decoding goes
+// through a Reader that carries a sticky error, so artifact decoders can run
+// a straight-line field sequence and check Err once — truncated or corrupted
+// input surfaces as an error, never as a panic or an out-of-bounds read.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// --- Appenders ---------------------------------------------------------------
+
+// AppendU8 appends one byte.
+func AppendU8(buf []byte, v uint8) []byte { return append(buf, v) }
+
+// AppendU16 appends a little-endian uint16.
+func AppendU16(buf []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(buf, v) }
+
+// AppendU32 appends a little-endian uint32.
+func AppendU32(buf []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(buf, v) }
+
+// AppendU64 appends a little-endian uint64.
+func AppendU64(buf []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(buf, v) }
+
+// AppendI32 appends a little-endian int32 (two's complement).
+func AppendI32(buf []byte, v int32) []byte { return AppendU32(buf, uint32(v)) }
+
+// AppendI64 appends a little-endian int64 (two's complement).
+func AppendI64(buf []byte, v int64) []byte { return AppendU64(buf, uint64(v)) }
+
+// AppendF64 appends an IEEE-754 double, bit-exact.
+func AppendF64(buf []byte, v float64) []byte { return AppendU64(buf, math.Float64bits(v)) }
+
+// AppendBool appends a bool as one byte (0 or 1).
+func AppendBool(buf []byte, v bool) []byte {
+	if v {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// AppendString appends a uint32 length prefix followed by the raw bytes.
+func AppendString(buf []byte, s string) []byte {
+	buf = AppendU32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+// AppendBytes appends a uint32 length prefix followed by the raw bytes.
+func AppendBytes(buf, b []byte) []byte {
+	buf = AppendU32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+// --- Reader ------------------------------------------------------------------
+
+// Reader decodes the primitives appended above from one byte slice. The
+// first failure (truncation, malformed field) sticks: every later read
+// returns the zero value, so decoders can defer the error check to the end.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewReader wraps data for decoding.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.data) - r.off }
+
+// Fail records err (if none is set yet) and poisons the reader.
+func (r *Reader) Fail(err error) {
+	if r.err == nil {
+		r.err = err
+		r.off = len(r.data)
+	}
+}
+
+// take reserves n bytes, or fails on truncated input.
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.Remaining() < n {
+		r.Fail(fmt.Errorf("wire: truncated input: need %d bytes at offset %d, have %d", n, r.off, r.Remaining()))
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I32 reads a little-endian int32.
+func (r *Reader) I32() int32 { return int32(r.U32()) }
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads an IEEE-754 double.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool reads one byte and requires it to be 0 or 1.
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.Fail(fmt.Errorf("wire: malformed bool at offset %d", r.off-1))
+		return false
+	}
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Count(1)
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Bytes reads a length-prefixed byte slice (a copy, so the result does not
+// alias the input buffer).
+func (r *Reader) Bytes() []byte {
+	n := r.Count(1)
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// Count reads a uint32 element count and verifies that count × elemSize
+// bytes can still follow, which bounds slice allocations on corrupted input
+// (a hostile length prefix cannot make a decoder allocate gigabytes).
+func (r *Reader) Count(elemSize int) int {
+	n := r.U32()
+	if r.err != nil {
+		return 0
+	}
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if int64(n)*int64(elemSize) > int64(r.Remaining()) {
+		r.Fail(fmt.Errorf("wire: element count %d (size %d) exceeds the %d remaining bytes", n, elemSize, r.Remaining()))
+		return 0
+	}
+	return int(n)
+}
+
+// Finish fails unless the input was consumed exactly; artifact decoders call
+// it last so trailing garbage is rejected rather than ignored.
+func (r *Reader) Finish() error {
+	if r.err == nil && r.Remaining() != 0 {
+		r.Fail(fmt.Errorf("wire: %d trailing bytes after the last field", r.Remaining()))
+	}
+	return r.err
+}

@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = AppendU8(buf, 0xAB)
+	buf = AppendU16(buf, 0xBEEF)
+	buf = AppendU32(buf, 0xDEADBEEF)
+	buf = AppendU64(buf, 0x0123456789ABCDEF)
+	buf = AppendI32(buf, -42)
+	buf = AppendI64(buf, -1<<40)
+	buf = AppendF64(buf, math.Pi)
+	buf = AppendF64(buf, math.Inf(-1))
+	buf = AppendBool(buf, true)
+	buf = AppendBool(buf, false)
+	buf = AppendString(buf, "hello, wire")
+	buf = AppendString(buf, "")
+
+	r := NewReader(buf)
+	if v := r.U8(); v != 0xAB {
+		t.Fatalf("U8 = %#x", v)
+	}
+	if v := r.U16(); v != 0xBEEF {
+		t.Fatalf("U16 = %#x", v)
+	}
+	if v := r.U32(); v != 0xDEADBEEF {
+		t.Fatalf("U32 = %#x", v)
+	}
+	if v := r.U64(); v != 0x0123456789ABCDEF {
+		t.Fatalf("U64 = %#x", v)
+	}
+	if v := r.I32(); v != -42 {
+		t.Fatalf("I32 = %d", v)
+	}
+	if v := r.I64(); v != -1<<40 {
+		t.Fatalf("I64 = %d", v)
+	}
+	if v := r.F64(); v != math.Pi {
+		t.Fatalf("F64 = %v", v)
+	}
+	if v := r.F64(); !math.IsInf(v, -1) {
+		t.Fatalf("F64 inf = %v", v)
+	}
+	if v := r.Bool(); !v {
+		t.Fatal("Bool true read as false")
+	}
+	if v := r.Bool(); v {
+		t.Fatal("Bool false read as true")
+	}
+	if v := r.String(); v != "hello, wire" {
+		t.Fatalf("String = %q", v)
+	}
+	if v := r.String(); v != "" {
+		t.Fatalf("empty String = %q", v)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	buf := AppendU64(nil, 7)
+	for n := 0; n < len(buf); n++ {
+		r := NewReader(buf[:n])
+		r.U64()
+		if r.Err() == nil {
+			t.Fatalf("U64 over %d bytes did not fail", n)
+		}
+		// The error sticks: later reads stay zero and Finish reports it.
+		if v := r.U32(); v != 0 {
+			t.Fatalf("read after failure returned %d", v)
+		}
+		if r.Finish() == nil {
+			t.Fatal("Finish cleared the sticky error")
+		}
+	}
+}
+
+func TestMalformedBool(t *testing.T) {
+	r := NewReader([]byte{2})
+	r.Bool()
+	if r.Err() == nil {
+		t.Fatal("bool byte 2 accepted")
+	}
+}
+
+func TestCountBoundsAllocation(t *testing.T) {
+	// A hostile count (4 billion elements of 8 bytes) must fail up front
+	// rather than drive a huge allocation.
+	buf := AppendU32(nil, math.MaxUint32)
+	r := NewReader(buf)
+	if n := r.Count(8); n != 0 || r.Err() == nil {
+		t.Fatalf("hostile count accepted: n=%d err=%v", n, r.Err())
+	}
+
+	// An honest count passes.
+	buf = AppendU32(nil, 3)
+	buf = append(buf, make([]byte, 24)...)
+	r = NewReader(buf)
+	if n := r.Count(8); n != 3 || r.Err() != nil {
+		t.Fatalf("honest count rejected: n=%d err=%v", n, r.Err())
+	}
+}
+
+func TestFinishRejectsTrailingBytes(t *testing.T) {
+	buf := AppendU8(nil, 1)
+	buf = append(buf, 0xFF)
+	r := NewReader(buf)
+	r.U8()
+	if r.Finish() == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
