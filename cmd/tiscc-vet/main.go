@@ -1,0 +1,151 @@
+// Command tiscc-vet is the repo's static-analysis gate: a multichecker over
+// the suite in internal/analysis (determinism, hotpath, telemetry, wire).
+//
+// It runs in two modes:
+//
+//	tiscc-vet ./...                   standalone: loads the packages matched
+//	                                  by the patterns (via `go list -export`)
+//	                                  and prints findings; exit 1 if any.
+//
+//	go vet -vettool=$(which tiscc-vet) ./...
+//	                                  unit-checker: the go command invokes
+//	                                  the binary once per package with a
+//	                                  *.cfg JSON file; diagnostics fail the
+//	                                  vet run. This is the CI entry point.
+//
+// The -V=full and -flags flags exist for the go command's tool protocol.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tiscc/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("tiscc-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		versionFlag = fs.String("V", "", "print version and exit (go tool protocol)")
+		flagsFlag   = fs.Bool("flags", false, "print analyzer flags as JSON and exit (go tool protocol)")
+		listFlag    = fs.Bool("list", false, "list the analyzers in the suite and exit")
+		only        = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: tiscc-vet [-only names] <package patterns>   (standalone)\n")
+		fmt.Fprintf(stderr, "       go vet -vettool=<path to tiscc-vet> <patterns>\n\nanalyzers:\n")
+		for _, a := range analysis.Suite() {
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch {
+	case *versionFlag != "":
+		// The go command stamps the build cache with this line; format
+		// follows the vet tool convention (name, "version", identifier).
+		if *versionFlag != "full" {
+			fmt.Fprintf(stderr, "tiscc-vet: unsupported -V value %q\n", *versionFlag)
+			return 2
+		}
+		printVersion(stdout)
+		return 0
+	case *flagsFlag:
+		// The go command queries supported analyzer flags; the suite has
+		// none it needs to forward.
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	case *listFlag:
+		for _, a := range analysis.Suite() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintf(stderr, "tiscc-vet: %v\n", err)
+		return 2
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runUnitchecker(rest[0], analyzers, stdout, stderr)
+	}
+	if len(rest) == 0 {
+		fs.Usage()
+		return 2
+	}
+	return runStandalone(rest, analyzers, stdout, stderr)
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	suite := analysis.Suite()
+	if only == "" {
+		return suite, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have: determinism, hotpath, telemetry, wire)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, stdout, stderr *os.File) int {
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "tiscc-vet: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.RunSuite(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "tiscc-vet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "tiscc-vet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// printVersion emits the `name version ...` line the go command's tool-ID
+// protocol expects, keyed by the binary's own content hash so edits to the
+// analyzers invalidate cached vet results.
+func printVersion(stdout *os.File) {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			h := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", h[:12])
+		}
+	}
+	fmt.Fprintf(stdout, "tiscc-vet version devel buildID=%s\n", id)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The tests here re-exec the built tiscc-vet binary the way users and CI
+// run it: standalone over the known-bad fixture module (exact diagnostics,
+// exit 1), through the real `go vet -vettool` protocol (exit nonzero with
+// the same findings), and standalone over the real tree (clean, exit 0).
+
+var vetBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "tiscc-vet-test")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	vetBin = filepath.Join(dir, "tiscc-vet")
+	out, err := exec.Command("go", "build", "-o", vetBin, ".").CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building tiscc-vet: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+func fixmodDir(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("..", "..", "internal", "analysis", "testdata", "fixmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "go.mod")); err != nil {
+		t.Fatalf("fixture module missing: %v", err)
+	}
+	return dir
+}
+
+func runCmd(t *testing.T, dir string, name string, args ...string) (int, string, string) {
+	t.Helper()
+	cmd := exec.Command(name, args...)
+	cmd.Dir = dir
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v", name, args, err)
+	}
+	return code, stdout.String(), stderr.String()
+}
+
+// TestStandaloneFixturesExactDiagnostics runs the binary over the fixture
+// module and pins the exact findings: every diagnostic line is accounted
+// for, key findings of all four analyzers are present, and the exit code
+// is 1.
+func TestStandaloneFixturesExactDiagnostics(t *testing.T) {
+	code, stdout, stderr := runCmd(t, fixmodDir(t), vetBin, "./...")
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	var lines []string
+	for _, l := range strings.Split(strings.TrimSpace(stdout), "\n") {
+		if l != "" {
+			lines = append(lines, l)
+		}
+	}
+	// Every line must be a well-formed "file:line:col: analyzer: message".
+	diagRE := regexp.MustCompile(`^.+\.go:\d+:\d+: (determinism|hotpath|telemetry|wire): .+$`)
+	for _, l := range lines {
+		if !diagRE.MatchString(l) {
+			t.Errorf("malformed diagnostic line: %q", l)
+		}
+	}
+	// The summary on stderr must agree with the diagnostic count.
+	sumRE := regexp.MustCompile(`tiscc-vet: (\d+) finding\(s\)`)
+	m := sumRE.FindStringSubmatch(stderr)
+	if m == nil {
+		t.Fatalf("no findings summary on stderr: %q", stderr)
+	}
+	if n, _ := strconv.Atoi(m[1]); n != len(lines) {
+		t.Errorf("summary says %s findings, stdout has %d lines", m[1], len(lines))
+	}
+	// One representative exact finding per analyzer.
+	for _, want := range []string{
+		`frame/frame.go:\d+:\d+: determinism: call to time\.Now in deterministic package "frame"`,
+		`hot/hot.go:\d+:\d+: hotpath: make in hot path \(\*pool\)\.Bad`,
+		`telemuse/telemuse.go:\d+:\d+: telemetry: result of Spans\.Start discarded`,
+		`wireuse/wireuse.go:\d+:\d+: wire: AppendThing has no DecodeThing counterpart`,
+	} {
+		if !regexp.MustCompile(want).MatchString(stdout) {
+			t.Errorf("missing expected finding %q in:\n%s", want, stdout)
+		}
+	}
+	// Suppressed sites must not leak through.
+	if strings.Contains(stdout, "Waived") || strings.Contains(stdout, "waivedSchema") {
+		t.Errorf("a waived finding leaked into the output:\n%s", stdout)
+	}
+}
+
+// TestGoVetVettoolFixturesFail drives the binary through the real go vet
+// unit-checker protocol over the fixture module: the run must fail and
+// surface the same analyzer findings.
+func TestGoVetVettoolFixturesFail(t *testing.T) {
+	code, stdout, stderr := runCmd(t, fixmodDir(t), "go", "vet", "-vettool="+vetBin, "./...")
+	if code == 0 {
+		t.Fatalf("go vet -vettool passed over the known-bad fixture module\nstdout:\n%s\nstderr:\n%s", stdout, stderr)
+	}
+	for _, want := range []string{
+		"determinism: call to time.Now",
+		"hotpath: make in hot path",
+		"telemetry: result of Spans.Start discarded",
+		"wire: AppendThing has no DecodeThing counterpart",
+	} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("go vet output missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+// TestStandaloneRealTreeClean runs the suite over the repository itself: the
+// merged tree must stay clean (this is the CI gate).
+func TestStandaloneRealTreeClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runCmd(t, root, vetBin, "./...")
+	if code != 0 {
+		t.Fatalf("tiscc-vet found violations in the real tree (exit %d):\n%s\n%s", code, stdout, stderr)
+	}
+}
+
+// TestToolProtocolFlags pins the go-command tool protocol surface: the
+// version line format and the JSON flags answer.
+func TestToolProtocolFlags(t *testing.T) {
+	code, stdout, _ := runCmd(t, "", vetBin, "-V=full")
+	if code != 0 {
+		t.Fatalf("-V=full exit %d", code)
+	}
+	if !regexp.MustCompile(`^tiscc-vet version \S+`).MatchString(stdout) {
+		t.Errorf("-V=full output %q does not match `tiscc-vet version ...`", stdout)
+	}
+	code, stdout, _ = runCmd(t, "", vetBin, "-flags")
+	if code != 0 || strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("-flags: exit %d output %q, want 0 and []", code, stdout)
+	}
+	code, stdout, _ = runCmd(t, "", vetBin, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	for _, a := range []string{"determinism", "hotpath", "telemetry", "wire"} {
+		if !strings.Contains(stdout, a) {
+			t.Errorf("-list output missing analyzer %s:\n%s", a, stdout)
+		}
+	}
+	// Unknown analyzer names are a usage error.
+	code, _, stderr := runCmd(t, fixmodDir(t), vetBin, "-only", "nope", "./...")
+	if code != 2 || !strings.Contains(stderr, "unknown analyzer") {
+		t.Errorf("-only nope: exit %d stderr %q, want 2 and unknown analyzer", code, stderr)
+	}
+	// -only restricts the suite.
+	code, stdout, _ = runCmd(t, fixmodDir(t), vetBin, "-only", "wire", "./...")
+	if code != 1 {
+		t.Errorf("-only wire exit %d, want 1", code)
+	}
+	if strings.Contains(stdout, "determinism:") || !strings.Contains(stdout, "wire:") {
+		t.Errorf("-only wire did not restrict the suite:\n%s", stdout)
+	}
+}

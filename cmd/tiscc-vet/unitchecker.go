@@ -1,0 +1,88 @@
+package main
+
+// The go vet unit-checker protocol, reimplemented on the standard library
+// (the build environment has no golang.org/x/tools): `go vet -vettool=X`
+// invokes X once per package with a single argument, a JSON config file
+// ending in .cfg that describes the package's sources and the export-data
+// files of its dependencies. The tool type-checks the package, runs the
+// suite, writes the (empty — the suite uses no cross-package facts) .vetx
+// facts file the go command expects, and exits 2 if it found anything.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+
+	"tiscc/internal/analysis"
+)
+
+// vetConfig mirrors the fields of the go command's vet config JSON that the
+// suite needs. Unknown fields are ignored.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnitchecker(cfgPath string, analyzers []*analysis.Analyzer, stdout, stderr *os.File) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "tiscc-vet: reading vet config: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "tiscc-vet: parsing vet config %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The go command requires the facts file to exist after every run —
+	// including VetxOnly dependency passes. The suite carries no facts, so
+	// an empty file is a complete answer, and dependency packages (all of
+	// std, when vetting with -vettool) need no analysis at all.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "tiscc-vet: writing facts: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	fset := token.NewFileSet()
+	pkg, err := analysis.TypeCheck(fset, cfg.ImportPath, cfg.Dir, cfg.GoFiles, cfg.PackageFile, cfg.ImportMap)
+	if err != nil || len(pkg.TypeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		if err == nil {
+			err = pkg.TypeErrors[0]
+		}
+		fmt.Fprintf(stderr, "tiscc-vet: %v\n", err)
+		return 1
+	}
+	diags, err := analysis.RunPackage(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "tiscc-vet: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s: %s\n", d.Position, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

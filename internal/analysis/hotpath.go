@@ -1,0 +1,373 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotpathAnalyzer is the static complement to testing.AllocsPerRun guards
+// like TestNoisyShotZeroAllocs: functions annotated //tiscc:hotpath, and
+// every same-package function they statically call, must be allocation-free.
+var HotpathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc: `functions marked //tiscc:hotpath (the per-shot sampling, frame
+propagation, fault injection, and decode inner loops) and their
+intra-package static callees must not allocate: no make/new, no slice or
+map literals, no map writes, no string concatenation or string<->[]byte
+conversion, no escaping closures, no interface boxing of non-pointer
+values, no go statements. append is allowed only in the pooled-scratch
+self-update form x.f = append(x.f, ...), whose capacity the runtime
+zero-alloc tests pin. Dynamic calls (interface methods, function values)
+and cross-package calls are not followed.`,
+	Run: runHotpath,
+}
+
+// hotpathMarker tags a function as a zero-allocation hot path root.
+const hotpathMarker = "//tiscc:hotpath"
+
+func runHotpath(pass *Pass) error {
+	// Index this package's function declarations by their types.Func object.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var roots []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+			if hasHotpathMarker(fd) {
+				roots = append(roots, fd)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	// Worklist over the intra-package static call graph.
+	type item struct {
+		fd   *ast.FuncDecl
+		root string
+	}
+	seen := map[*ast.FuncDecl]bool{}
+	var work []item
+	for _, r := range roots {
+		work = append(work, item{r, funcDisplayName(r)})
+	}
+	for len(work) > 0 {
+		it := work[0]
+		work = work[1:]
+		if seen[it.fd] {
+			continue
+		}
+		seen[it.fd] = true
+		checkHotFunc(pass, it.fd, it.root)
+		for _, callee := range intraPackageCallees(pass, it.fd, decls) {
+			if !seen[callee] {
+				work = append(work, item{callee, it.root})
+			}
+		}
+	}
+	return nil
+}
+
+func hasHotpathMarker(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), hotpathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		return fmt.Sprintf("(%s).%s", exprText(fd.Recv.List[0].Type), fd.Name.Name)
+	}
+	return fd.Name.Name
+}
+
+// intraPackageCallees returns the same-package declared functions fd calls
+// through static dispatch.
+func intraPackageCallees(pass *Pass, fd *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() != pass.Pkg {
+			return true
+		}
+		if callee, ok := decls[fn]; ok {
+			out = append(out, callee)
+		}
+		return true
+	})
+	return out
+}
+
+// checkHotFunc reports every allocating construct in one hot function.
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl, root string) {
+	where := ""
+	if funcDisplayName(fd) != root {
+		where = fmt.Sprintf(" (reached from //tiscc:hotpath %s)", root)
+	}
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s in hot path %s%s: the shot loop must stay at 0 allocs/shot", what, funcDisplayName(fd), where)
+	}
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make":
+						report(n.Pos(), "make")
+					case "new":
+						report(n.Pos(), "new")
+					case "append":
+						if !allowedPooledAppend(pass, n) {
+							report(n.Pos(), "growing append (only x.f = append(x.f, ...) on pooled scratch is allowed)")
+						}
+					}
+					return true
+				}
+			}
+			checkBoxingInCall(pass, n, report)
+			// String conversions that copy: string(b), []byte(s), []rune(s).
+			if conv, ok := stringCopyConversion(info, n); ok {
+				report(n.Pos(), conv)
+			}
+		case *ast.CompositeLit:
+			tv, ok := info.Types[n]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal")
+			case *types.Map:
+				report(n.Pos(), "map literal")
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if tv, ok := info.Types[ix.X]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							report(ix.Pos(), "map write (bucket growth allocates)")
+						}
+					}
+				}
+			}
+			checkBoxingInAssign(pass, n, report)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok && tv.Value == nil {
+					if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+						report(n.Pos(), "string concatenation")
+					}
+				}
+			}
+		case *ast.FuncLit:
+			if funcLitEscapes(pass, fd.Body, n) {
+				report(n.Pos(), "escaping closure")
+			}
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement")
+		}
+		return true
+	})
+}
+
+// allowedPooledAppend accepts x.f = append(x.f, ...) where the destination
+// is a struct field — the pooled-scratch idiom whose capacity is
+// preallocated and pinned by the runtime zero-alloc tests.
+func allowedPooledAppend(pass *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	if _, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); !ok {
+		return false
+	}
+	// Find the assignment this append feeds; it must store back into the
+	// same field expression.
+	path := enclosingAssign(pass, call)
+	if path == nil {
+		return false
+	}
+	for i, rhs := range path.Rhs {
+		if ast.Unparen(rhs) == call {
+			return i < len(path.Lhs) && exprText(path.Lhs[i]) == exprText(call.Args[0])
+		}
+	}
+	return false
+}
+
+// enclosingAssign finds the single-level assignment whose RHS contains call.
+// (Appends nested deeper inside expressions are not the pooled idiom.)
+func enclosingAssign(pass *Pass, call *ast.CallExpr) *ast.AssignStmt {
+	var found *ast.AssignStmt
+	for _, f := range pass.Files {
+		if !(f.FileStart <= call.Pos() && call.Pos() < f.FileEnd) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, rhs := range as.Rhs {
+					if ast.Unparen(rhs) == call {
+						found = as
+						return false
+					}
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// funcLitEscapes reports whether lit is used anywhere other than (a) being
+// called immediately or (b) being assigned to a local variable (closures
+// that stay local and are only called do not escape to the heap).
+func funcLitEscapes(pass *Pass, body *ast.BlockStmt, lit *ast.FuncLit) bool {
+	escapes := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if ast.Unparen(n.Fun) == lit {
+				escapes = false // func(){...}() called in place
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if ast.Unparen(rhs) == lit && i < len(n.Lhs) {
+					if _, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+						escapes = false // local helper: bfs := func(...){...}
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return escapes
+}
+
+// checkBoxingInCall flags arguments converted to interface parameters when
+// the conversion must allocate: concrete, non-pointer-shaped, non-constant
+// values. (Boxing a pointer, map, chan, func, constant, or nil is free.)
+func checkBoxingInCall(pass *Pass, call *ast.CallExpr, report func(token.Pos, string)) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			slice, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = slice.Elem()
+		} else if i < sig.Params().Len() {
+			pt = sig.Params().At(i).Type()
+		} else {
+			continue
+		}
+		if boxes(pass.TypesInfo, pt, arg) {
+			report(arg.Pos(), fmt.Sprintf("interface boxing of %s argument", pass.TypesInfo.Types[arg].Type))
+		}
+	}
+}
+
+// checkBoxingInAssign flags assignments that box a concrete value into an
+// interface-typed destination.
+func checkBoxingInAssign(pass *Pass, as *ast.AssignStmt, report func(token.Pos, string)) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		ltv, ok := pass.TypesInfo.Types[as.Lhs[i]]
+		if !ok {
+			// Defs for := bindings.
+			if id, isID := as.Lhs[i].(*ast.Ident); isID {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					if boxes(pass.TypesInfo, obj.Type(), as.Rhs[i]) {
+						report(as.Rhs[i].Pos(), "interface boxing in assignment")
+					}
+				}
+			}
+			continue
+		}
+		if boxes(pass.TypesInfo, ltv.Type, as.Rhs[i]) {
+			report(as.Rhs[i].Pos(), "interface boxing in assignment")
+		}
+	}
+}
+
+// boxes reports whether assigning expr to a destination of type dst performs
+// an allocating interface conversion.
+func boxes(info *types.Info, dst types.Type, expr ast.Expr) bool {
+	if dst == nil || !types.IsInterface(dst.Underlying()) {
+		return false
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.Value != nil || tv.IsNil() {
+		return false // constants and nil are static
+	}
+	if types.IsInterface(tv.Type.Underlying()) {
+		return false // interface-to-interface copies the word pair
+	}
+	return !isPointerShaped(tv.Type)
+}
+
+// stringCopyConversion detects string(b), []byte(s), []rune(s) conversions,
+// which copy their operand.
+func stringCopyConversion(info *types.Info, call *ast.CallExpr) (string, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return "", false
+	}
+	argTV, ok := info.Types[call.Args[0]]
+	if !ok || argTV.Value != nil {
+		return "", false
+	}
+	dst, src := tv.Type.Underlying(), argTV.Type.Underlying()
+	isStr := func(t types.Type) bool {
+		b, ok := t.(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteOrRuneSlice := func(t types.Type) bool {
+		s, ok := t.(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	if isStr(dst) && isByteOrRuneSlice(src) {
+		return "string([]byte) conversion (copies)", true
+	}
+	if isByteOrRuneSlice(dst) && isStr(src) {
+		return "[]byte(string) conversion (copies)", true
+	}
+	return "", false
+}

@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// This file is a minimal, offline replacement for go/packages: it loads and
+// type-checks the packages matched by a pattern using only the standard
+// library. `go list -deps -export -json` supplies the package graph and a
+// compiled export-data file per dependency, so each target package is parsed
+// from source and its imports are resolved through the gc importer — no
+// module proxy, no golang.org/x/tools.
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Name    string
+	PkgPath string
+	Dir     string
+	GoFiles []string
+
+	Fset   *token.FileSet
+	Syntax []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+
+	// TypeErrors holds type-checking problems; analyzers still run on
+	// partially-checked packages, mirroring go vet's behavior.
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in dir and returns the matched packages (dependencies
+// are consumed as export data, not returned).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var listed []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+
+	exports := map[string]string{}
+	importMaps := map[string]map[string]string{}
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if len(lp.ImportMap) > 0 {
+			importMaps[lp.ImportPath] = lp.ImportMap
+		}
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.DepOnly {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.CgoFiles) > 0 {
+			// cgo packages need the translated sources from the build cache;
+			// this repo has none, so reject loudly rather than mis-analyze.
+			return nil, fmt.Errorf("analysis: package %s uses cgo, which the standalone loader does not support", lp.ImportPath)
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := TypeCheck(fset, lp.ImportPath, lp.Dir, files, exports, importMaps[lp.ImportPath])
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+// TypeCheck parses and type-checks one package from source, resolving
+// imports through export-data files (importPath → file). importMap remaps
+// source-level import paths (vendoring; identity when nil).
+func TypeCheck(fset *token.FileSet, pkgPath, dir string, files []string, exports map[string]string, importMap map[string]string) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %v", name, err)
+		}
+		syntax = append(syntax, f)
+	}
+	pkg := &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		GoFiles: files,
+		Fset:    fset,
+		Syntax:  syntax,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+			Instances:  map[*ast.Ident]types.Instance{},
+		},
+	}
+	if len(syntax) > 0 {
+		pkg.Name = syntax[0].Name.Name
+	}
+	conf := types.Config{
+		Importer: newExportImporter(fset, exports, importMap),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(pkgPath, fset, syntax, pkg.Info)
+	if tpkg == nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", pkgPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// newExportImporter builds a types importer over export-data files produced
+// by `go list -export` (or a vet config's PackageFile map).
+func newExportImporter(fset *token.FileSet, exports map[string]string, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if importMap != nil {
+			if mapped, ok := importMap[path]; ok {
+				path = mapped
+			}
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for import %q", path)
+		}
+		return os.Open(file)
+	}
+	return &mappedImporter{base: importer.ForCompiler(fset, "gc", lookup)}
+}
+
+type mappedImporter struct {
+	base types.Importer
+}
+
+func (m *mappedImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return m.base.Import(path)
+}
+
+// PosDiagnostic is a Diagnostic with its position resolved, ready to print.
+type PosDiagnostic struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d PosDiagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
+}
+
+// RunSuite applies analyzers to pkgs and returns all diagnostics sorted by
+// file position.
+func RunSuite(pkgs []*Package, analyzers []*Analyzer) ([]PosDiagnostic, error) {
+	var out []PosDiagnostic
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, diags...)
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// RunPackage applies analyzers to a single loaded package.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]PosDiagnostic, error) {
+	var out []PosDiagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d Diagnostic) {
+			out = append(out, PosDiagnostic{
+				Position: pkg.Fset.Position(d.Pos),
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+func sortDiagnostics(ds []PosDiagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i].Position, ds[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return ds[i].Analyzer < ds[j].Analyzer
+	})
+}

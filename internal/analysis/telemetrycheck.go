@@ -1,0 +1,263 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// TelemetryAnalyzer enforces the telemetry surface contracts in every
+// package: span closures must be completed, and instrument names declared in
+// telemetry.Schema literals must be legal Prometheus metric-name fragments.
+var TelemetryAnalyzer = &Analyzer{
+	Name: "telemetry",
+	Doc: `every telemetry.Spans.Start result must be completed — either
+deferred or called in the same block it was created in — and every constant
+name in a telemetry.Schema composite literal (Component, Counters, Hists)
+must match [a-zA-Z_][a-zA-Z0-9_]* so the joined Prometheus metric name
+<namespace>_<component>_<name> is always legal, making the digit-leading
+namespace bug class impossible at compile time.`,
+	Run: runTelemetry,
+}
+
+func runTelemetry(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkSpanStarts(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkSpanStarts(pass, n.Body)
+			case *ast.CompositeLit:
+				checkSchemaLit(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSpansStart reports whether call is telemetry.(*Spans).Start.
+func isSpansStart(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Start" {
+		return false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	return isNamed(s.Recv(), "telemetry", "Spans")
+}
+
+// checkSpanStarts verifies, block by block, that each Spans.Start result is
+// completed. Accepted patterns:
+//
+//	defer stop()            — anywhere later in the function
+//	stop()                  — a plain call later in the same block, so the
+//	                          span closes on the straight-line path
+//
+// A discarded result, or one whose only calls hide inside conditional
+// branches, is reported: spans feeding wall-time accounting must close on
+// every path, and defer is the way to say that.
+func checkSpanStarts(pass *Pass, body *ast.BlockStmt) {
+	checkSpanBlock(pass, body, body.List)
+}
+
+func checkSpanBlock(pass *Pass, body *ast.BlockStmt, stmts []ast.Stmt) {
+	for i, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && isSpansStart(pass, call) {
+				pass.Reportf(call.Pos(), "result of Spans.Start discarded: the span never completes; assign it and call or defer it")
+			}
+		case *ast.AssignStmt:
+			for ri, rhs := range s.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isSpansStart(pass, call) {
+					continue
+				}
+				if ri >= len(s.Lhs) && len(s.Lhs) != 1 {
+					continue
+				}
+				lhs := s.Lhs[0]
+				if len(s.Lhs) == len(s.Rhs) {
+					lhs = s.Lhs[ri]
+				}
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					pass.Reportf(call.Pos(), "result of Spans.Start discarded: the span never completes; assign it and call or defer it")
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if !spanCompleted(pass, body, stmts[i+1:], obj) {
+					pass.Reportf(call.Pos(), "span closer %q is not completed on the straight-line path: call it in this block or defer it", id.Name)
+				}
+			}
+		}
+		// Recurse into nested blocks so Start calls inside them get the same
+		// treatment relative to their own block.
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			checkSpanBlock(pass, body, s.List)
+		case *ast.IfStmt:
+			checkSpanBlock(pass, body, s.Body.List)
+			if blk, ok := s.Else.(*ast.BlockStmt); ok {
+				checkSpanBlock(pass, body, blk.List)
+			}
+		case *ast.ForStmt:
+			checkSpanBlock(pass, body, s.Body.List)
+		case *ast.RangeStmt:
+			checkSpanBlock(pass, body, s.Body.List)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkSpanBlock(pass, body, cc.Body)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					checkSpanBlock(pass, body, cc.Body)
+				}
+			}
+		}
+	}
+}
+
+// spanCompleted reports whether obj (the span-closing func value) is
+// completed after its creation: deferred anywhere in the function, called as
+// a statement in the remainder of its own block, or deliberately handed off
+// (passed as an argument, returned, or stored), which transfers the
+// responsibility to the receiver.
+func spanCompleted(pass *Pass, fnBody *ast.BlockStmt, rest []ast.Stmt, obj types.Object) bool {
+	// defer obj() anywhere in the enclosing function completes all paths.
+	deferred := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if id, ok := ast.Unparen(d.Call.Fun).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				deferred = true
+				return false
+			}
+		}
+		return true
+	})
+	if deferred {
+		return true
+	}
+	for _, s := range rest {
+		if es, ok := s.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					return true // straight-line completion in the same block
+				}
+			}
+		}
+	}
+	// Hand-off: the closer escapes this function (argument, return, store);
+	// completion is the receiver's contract.
+	used := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if isCall {
+			// Uses as call arguments count; the callee gets the closer.
+			for _, arg := range call.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					used = true
+					return false
+				}
+			}
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if id, ok := ast.Unparen(r).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					used = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				if id, ok := ast.Unparen(r).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					used = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return used
+}
+
+// checkSchemaLit validates constant instrument names in telemetry.Schema
+// composite literals.
+func checkSchemaLit(pass *Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || !isNamed(tv.Type, "telemetry", "Schema") {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Component":
+			checkMetricFragment(pass, kv.Value, "component")
+		case "Counters", "Hists":
+			inner, ok := ast.Unparen(kv.Value).(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			for _, name := range inner.Elts {
+				checkMetricFragment(pass, name, "instrument name")
+			}
+		}
+	}
+}
+
+// checkMetricFragment validates one constant string used as a metric-name
+// fragment. Non-constant expressions are skipped (the runtime sanitizer
+// still guards them).
+func checkMetricFragment(pass *Pass, e ast.Expr, what string) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	s := constant.StringVal(tv.Value)
+	if err := validMetricFragment(s); err != "" {
+		pass.Reportf(e.Pos(), "telemetry %s %q %s: the joined Prometheus metric name must match [a-zA-Z_][a-zA-Z0-9_]*", what, s, err)
+	}
+}
+
+// validMetricFragment returns a description of the violation, or "".
+func validMetricFragment(s string) string {
+	if s == "" {
+		return "is empty"
+	}
+	if s[0] >= '0' && s[0] <= '9' {
+		return "starts with a digit"
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c >= '0' && c <= '9' {
+			continue
+		}
+		return fmt.Sprintf("contains %q", c)
+	}
+	return ""
+}

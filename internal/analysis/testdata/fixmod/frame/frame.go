@@ -1,0 +1,73 @@
+// Package frame exercises the determinism analyzer: its name is in the
+// deterministic set, so wall-clock reads, the global RNG, and order-sensitive
+// map iteration are all findings unless waived.
+package frame
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Bad reads the wall clock and the process-global RNG.
+func Bad() int64 {
+	t := time.Now()                         // want `call to time\.Now in deterministic package "frame"`
+	return t.UnixNano() + int64(rand.Int()) // want `process-global RNG rand\.Int`
+}
+
+// Waived demonstrates a valid declaration-level waiver with a reason.
+//
+//tiscc:nondeterministic fixture: demonstrates a valid waiver
+func Waived() time.Time { return time.Now() }
+
+// BareMarker's waiver is missing its reason, which is itself a finding
+// (reported at the marker's own position).
+func BareMarker() int64 {
+	// want+1 `suppression of "determinism" requires a reason`
+	//tiscc:nondeterministic
+	return time.Now().UnixNano()
+}
+
+// BadRange collects map keys without sorting them.
+func BadRange(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order is random`
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+// OKRange is pure accumulation: order cannot be observed.
+func OKRange(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SortedRange is the canonical collect-then-sort pattern.
+func SortedRange(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WaivedRange shows a statement-level waiver on an order-sensitive body.
+func WaivedRange(m map[string]int) {
+	//tiscc:nondeterministic fixture: consume ignores order
+	for k := range m {
+		consume(k)
+	}
+}
+
+func consume(string) {}
+
+// SeededOK uses an explicitly seeded generator, which is allowed.
+func SeededOK(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}

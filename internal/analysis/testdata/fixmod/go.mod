@@ -1,0 +1,3 @@
+module fixmod
+
+go 1.24

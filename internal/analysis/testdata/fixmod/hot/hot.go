@@ -1,0 +1,44 @@
+// Package hot exercises the hotpath analyzer: //tiscc:hotpath roots and
+// their intra-package callees must not allocate.
+package hot
+
+type pool struct {
+	buf []int
+	box interface{}
+}
+
+// Bad allocates directly in a hot root.
+//
+//tiscc:hotpath
+func (p *pool) Bad(n int) []int {
+	s := make([]int, n) // want `make in hot path \(\*pool\)\.Bad`
+	return s
+}
+
+// Good uses only the allowed pooled-scratch append and calls a helper that
+// is itself checked transitively.
+//
+//tiscc:hotpath
+func (p *pool) Good(v int) {
+	p.buf = append(p.buf, v)
+	if v > 0 {
+		add := func(x int) { p.buf[0] += x }
+		add(v)
+	}
+	leaky(p)
+}
+
+// leaky is not annotated, but is reached from the Good root.
+func leaky(p *pool) {
+	m := map[int]bool{} // want `map literal in hot path leaky \(reached from //tiscc:hotpath \(\*pool\)\.Good\)`
+	_ = m
+	p.box = pooledValue{} // want `interface boxing in assignment`
+}
+
+type pooledValue struct{ a, b int }
+
+// Waived demonstrates a declaration-level hotpath waiver with a reason.
+//
+//tiscc:hotpath
+//tiscc:allow(hotpath) fixture: cold setup prologue measured separately
+func Waived(n int) []byte { return make([]byte, n) }

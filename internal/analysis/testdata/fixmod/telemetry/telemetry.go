@@ -1,0 +1,20 @@
+// Package telemetry is a minimal stub of tiscc/internal/telemetry: the
+// analyzers match the Spans and Schema types by package and type name, so
+// fixtures exercise them without importing the real module.
+package telemetry
+
+// Spans mimics the span collector's surface.
+type Spans struct{}
+
+// Start begins a span and returns its completion closure.
+func (sp *Spans) Start(name string) func() {
+	_ = name
+	return func() {}
+}
+
+// Schema mimics the metric schema literal the telemetry analyzer validates.
+type Schema struct {
+	Component string
+	Counters  []string
+	Hists     []string
+}

@@ -1,0 +1,61 @@
+// Package telemuse exercises the telemetry analyzer: Spans.Start results
+// must be completed, and Schema literals must carry legal metric names.
+package telemuse
+
+import "fixmod/telemetry"
+
+// BadDiscard drops the span closer on the floor.
+func BadDiscard(sp *telemetry.Spans) {
+	sp.Start("stage") // want `result of Spans\.Start discarded`
+}
+
+// BadConditional only completes the span on one path.
+func BadConditional(sp *telemetry.Spans, ok bool) {
+	stop := sp.Start("stage") // want `span closer "stop" is not completed on the straight-line path`
+	if ok {
+		stop()
+	}
+}
+
+// GoodDefer completes on every path.
+func GoodDefer(sp *telemetry.Spans) {
+	stop := sp.Start("stage")
+	defer stop()
+}
+
+// GoodStraightLine completes on the fall-through path in the same block.
+func GoodStraightLine(sp *telemetry.Spans) {
+	stop := sp.Start("stage")
+	work()
+	stop()
+}
+
+// GoodHandoff transfers completion responsibility to the caller.
+func GoodHandoff(sp *telemetry.Spans) func() {
+	stop := sp.Start("stage")
+	return stop
+}
+
+// Waived demonstrates a telemetry waiver with a reason.
+//
+//tiscc:allow(telemetry) fixture: span intentionally left open for the process lifetime
+func Waived(sp *telemetry.Spans) {
+	sp.Start("forever")
+}
+
+func work() {}
+
+// badSchema carries a digit-leading component and a hyphenated counter name.
+var badSchema = telemetry.Schema{
+	Component: "9comp",                         // want `telemetry component "9comp" starts with a digit`
+	Counters:  []string{"ok_name", "bad-name"}, // want `telemetry instrument name "bad-name" contains`
+	Hists:     []string{"lat_us"},
+}
+
+// waivedSchema keeps a historical name under an explicit waiver.
+//
+//tiscc:allow(telemetry) fixture: legacy dashboard name kept stable
+var waivedSchema = telemetry.Schema{Component: "0legacy"}
+
+// Use keeps the vars referenced.
+func Use() (telemetry.Schema, telemetry.Schema) { return badSchema, waivedSchema }

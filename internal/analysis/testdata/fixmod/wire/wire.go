@@ -1,0 +1,49 @@
+// Package wire is a minimal stub of tiscc/internal/wire: AppendX functions,
+// a sticky-error Reader, and NewReader, matched by package and type name.
+package wire
+
+// AppendU32 appends v little-endian.
+func AppendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// Reader is a sticky-error byte reader.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader wraps b.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// U32 reads a little-endian uint32, or 0 after an error.
+func (r *Reader) U32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.err = errTruncated
+		return 0
+	}
+	v := uint32(r.b[r.off]) | uint32(r.b[r.off+1])<<8 | uint32(r.b[r.off+2])<<16 | uint32(r.b[r.off+3])<<24
+	r.off += 4
+	return v
+}
+
+// Err returns the sticky error.
+func (r *Reader) Err() error { return r.err }
+
+// Finish returns the sticky error and requires full consumption.
+func (r *Reader) Finish() error {
+	if r.err == nil && r.off != len(r.b) {
+		r.err = errTrailing
+	}
+	return r.err
+}
+
+type wireError string
+
+func (e wireError) Error() string { return string(e) }
+
+const (
+	errTruncated = wireError("wire: truncated")
+	errTrailing  = wireError("wire: trailing bytes")
+)

@@ -1,0 +1,68 @@
+// Package wireuse exercises the wire analyzer: encoder/decoder pairing and
+// the sticky-error Reader discipline.
+package wireuse
+
+import "fixmod/wire"
+
+// AppendThing has no DecodeThing counterpart.
+func AppendThing(b []byte, v uint32) []byte { // want `AppendThing has no DecodeThing counterpart in package wireuse`
+	return wire.AppendU32(b, v)
+}
+
+// DecodeOrphan has no encoder counterpart.
+func DecodeOrphan(b []byte) (uint32, error) { // want `DecodeOrphan has no AppendOrphan or EncodeOrphan counterpart in package wireuse`
+	r := wire.NewReader(b)
+	v := r.U32()
+	return v, r.Finish()
+}
+
+// EncodePair and DecodePair round-trip and are clean.
+func EncodePair(b []byte, v uint32) []byte { return wire.AppendU32(b, v) }
+
+// DecodePair decodes EncodePair's output.
+func DecodePair(b []byte) (uint32, error) {
+	r := wire.NewReader(b)
+	v := r.U32()
+	return v, r.Finish()
+}
+
+// AppendWaived stands alone under an explicit waiver.
+//
+//tiscc:allow(wire) fixture: decoder lives in a downstream tool
+func AppendWaived(b []byte) []byte { return append(b, 0) }
+
+// readNoCheck reads from a Reader it created and never checks the error.
+func readNoCheck(b []byte) uint32 { // want `readNoCheck creates a wire\.Reader and reads from it but never checks Err or Finish`
+	r := wire.NewReader(b)
+	return r.U32()
+}
+
+// readLoopGhostKeys inserts reader-derived values into a map before any Err
+// check inside the loop.
+func readLoopGhostKeys(b []byte, n int, out map[uint32]bool) error {
+	r := wire.NewReader(b)
+	for i := 0; i < n; i++ {
+		out[r.U32()] = true // want `map write inside a wire\.Reader loop without a preceding Err check`
+	}
+	return r.Finish()
+}
+
+// readLoopChecked is the blessed shape: Err break before the sink.
+func readLoopChecked(b []byte, n int, out map[uint32]bool) error {
+	r := wire.NewReader(b)
+	for i := 0; i < n; i++ {
+		v := r.U32()
+		if r.Err() != nil {
+			break
+		}
+		out[v] = true
+	}
+	return r.Finish()
+}
+
+// Use keeps the unexported fixtures referenced.
+func Use(b []byte) {
+	_ = readNoCheck(b)
+	_ = readLoopGhostKeys(b, 1, map[uint32]bool{})
+	_ = readLoopChecked(b, 1, map[uint32]bool{})
+}

@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WireAnalyzer enforces the compiled-artifact wire-format contracts: the
+// Append/Decode surface of a package must be symmetric, and decoders built
+// on wire.Reader's sticky error must actually check it.
+var WireAnalyzer = &Analyzer{
+	Name: "wire",
+	Doc: `(1) every exported AppendX/EncodeX function must have a DecodeX
+counterpart in the same package and vice versa (a Reader method X counts as
+the decode side for primitive packages); (2) a function that creates a wire.Reader and
+reads from it must check Err or Finish before returning; (3) a loop that
+reads from a wire.Reader and feeds the values into order- or
+identity-sensitive sinks (map writes, early returns) must check Err inside
+the loop before those sinks, so garbage from a truncated input can never
+masquerade as a semantic validation failure.`,
+	Run: runWire,
+}
+
+func runWire(pass *Pass) error {
+	checkAppendDecodePairs(pass)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkReaderUse(pass, fd)
+		}
+	}
+	return nil
+}
+
+// --- Append/Decode pairing ---------------------------------------------------
+
+func checkAppendDecodePairs(pass *Pass) {
+	scope := pass.Pkg.Scope()
+	appends := map[string]types.Object{} // X → AppendX or EncodeX
+	encVerb := map[string]string{}       // X → "Append" or "Encode"
+	decodes := map[string]types.Object{} // X → DecodeX
+	readerMethods := map[string]bool{}   // X → Reader has method X
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		fn, ok := obj.(*types.Func)
+		if ok && fn.Exported() {
+			if x := strings.TrimPrefix(name, "Append"); x != name && x != "" && isExportedName(x) {
+				appends[x] = obj
+				encVerb[x] = "Append"
+			}
+			if x := strings.TrimPrefix(name, "Encode"); x != name && x != "" && isExportedName(x) {
+				appends[x] = obj
+				encVerb[x] = "Encode"
+			}
+			if x := strings.TrimPrefix(name, "Decode"); x != name && x != "" && isExportedName(x) {
+				decodes[x] = obj
+			}
+		}
+		// Collect methods of a type named Reader (the primitive decode
+		// surface: AppendU32 pairs with Reader.U32).
+		if tn, ok := obj.(*types.TypeName); ok && tn.Name() == "Reader" {
+			if named, ok := tn.Type().(*types.Named); ok {
+				for i := 0; i < named.NumMethods(); i++ {
+					readerMethods[named.Method(i).Name()] = true
+				}
+			}
+		}
+	}
+	var xs []string
+	for x := range appends {
+		xs = append(xs, x)
+	}
+	sort.Strings(xs)
+	for _, x := range xs {
+		if _, ok := decodes[x]; !ok && !readerMethods[x] {
+			pass.Reportf(appends[x].Pos(), "%s%s has no Decode%s counterpart in package %s: every encoder must have a decoder (and vice versa) so artifacts always round-trip", encVerb[x], x, x, pass.Pkg.Name())
+		}
+	}
+	xs = xs[:0]
+	for x := range decodes {
+		xs = append(xs, x)
+	}
+	sort.Strings(xs)
+	for _, x := range xs {
+		if _, ok := appends[x]; !ok {
+			pass.Reportf(decodes[x].Pos(), "Decode%s has no Append%s or Encode%s counterpart in package %s: every decoder must have an encoder (and vice versa) so artifacts always round-trip", x, x, x, pass.Pkg.Name())
+		}
+	}
+}
+
+func isExportedName(s string) bool {
+	return s != "" && (s[0] >= 'A' && s[0] <= 'Z')
+}
+
+// --- Reader discipline -------------------------------------------------------
+
+// readerCallKind classifies a method call on a wire.Reader value.
+type readerCallKind int
+
+const (
+	notReader   readerCallKind = iota
+	readerRead                 // U8, U32, String, Count, ... (consumes input)
+	readerCheck                // Err, Finish (observes the sticky error)
+	readerOther                // Remaining, Fail (neutral)
+)
+
+func classifyReaderCall(pass *Pass, call *ast.CallExpr) (readerCallKind, types.Object) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return notReader, nil
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return notReader, nil
+	}
+	if !isNamed(s.Recv(), "wire", "Reader") {
+		return notReader, nil
+	}
+	var recvObj types.Object
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		recvObj = pass.TypesInfo.Uses[id]
+	}
+	switch sel.Sel.Name {
+	case "Err", "Finish":
+		return readerCheck, recvObj
+	case "Remaining", "Fail":
+		return readerOther, recvObj
+	default:
+		return readerRead, recvObj
+	}
+}
+
+// checkReaderUse applies the two Reader rules to one function.
+func checkReaderUse(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	createsReader := false
+	reads := 0
+	checks := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(info, call); fn != nil && fn.Name() == "NewReader" &&
+			fn.Pkg() != nil && fn.Pkg().Name() == "wire" && fn.Type().(*types.Signature).Recv() == nil {
+			createsReader = true
+			return true
+		}
+		switch kind, _ := classifyReaderCall(pass, call); kind {
+		case readerRead:
+			reads++
+		case readerCheck:
+			checks++
+		}
+		return true
+	})
+	if createsReader && reads > 0 && checks == 0 {
+		pass.Reportf(fd.Pos(), "%s creates a wire.Reader and reads from it but never checks Err or Finish: truncated or corrupted input would decode as silent zero values", funcDisplayName(fd))
+	}
+	// Rule 3: loops that read and also have identity-sensitive sinks must
+	// check Err before the sink.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var bodyStmts []ast.Stmt
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			bodyStmts = l.Body.List
+		case *ast.RangeStmt:
+			bodyStmts = l.Body.List
+		default:
+			return true
+		}
+		checkReaderLoop(pass, bodyStmts)
+		return true
+	})
+}
+
+// checkReaderLoop flags map writes and return statements that consume
+// reader-derived values inside a reading loop before any Err check. The
+// sticky error makes raw reads safe everywhere; what it cannot make safe is
+// treating garbage zero values as semantic data — inserting them into maps
+// (ghost keys, spurious duplicate detection) or returning validation errors
+// about bytes that were never there.
+func checkReaderLoop(pass *Pass, stmts []ast.Stmt) {
+	readsSeen := false
+	checked := false
+	var visit func(stmts []ast.Stmt)
+	visit = func(stmts []ast.Stmt) {
+		for _, s := range stmts {
+			// An Err/Finish check anywhere in a statement (typically
+			// `if r.Err() != nil { break }`) guards everything after it.
+			sawCheckHere := false
+			ast.Inspect(s, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					switch kind, _ := classifyReaderCall(pass, call); kind {
+					case readerRead:
+						readsSeen = true
+					case readerCheck:
+						sawCheckHere = true
+					}
+				}
+				return true
+			})
+			if !checked && readsSeen {
+				switch st := s.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+							if tv, ok := pass.TypesInfo.Types[ix.X]; ok {
+								if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+									pass.Reportf(ix.Pos(), "map write inside a wire.Reader loop without a preceding Err check: on truncated input the zero values read become ghost map entries; add `if r.Err() != nil { break }` first")
+								}
+							}
+						}
+					}
+				case *ast.ReturnStmt:
+					if !sawCheckHere && len(st.Results) > 0 && !returnsOnlyNilOrErrWrap(pass, st) {
+						pass.Reportf(st.Pos(), "semantic return inside a wire.Reader loop without a preceding Err check: on truncated input this reports garbage-derived validation errors; add `if r.Err() != nil { break }` first")
+					}
+				case *ast.IfStmt:
+					visit(st.Body.List)
+					if blk, ok := st.Else.(*ast.BlockStmt); ok {
+						visit(blk.List)
+					}
+				case *ast.BlockStmt:
+					visit(st.List)
+				}
+			}
+			if sawCheckHere {
+				checked = true
+			}
+		}
+	}
+	visit(stmts)
+}
+
+// returnsOnlyNilOrErrWrap accepts returns whose results are all nil
+// constants or a direct r.Err()/r.Finish() propagation — those cannot
+// launder garbage into semantic results.
+func returnsOnlyNilOrErrWrap(pass *Pass, ret *ast.ReturnStmt) bool {
+	for _, r := range ret.Results {
+		if isNilExpr(pass.TypesInfo, r) {
+			continue
+		}
+		if call, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+			if kind, _ := classifyReaderCall(pass, call); kind == readerCheck {
+				continue
+			}
+		}
+		return false
+	}
+	return true
+}

@@ -223,6 +223,7 @@ func ExtractSurgery(s *verify.Surgery) (*Detectors, error) {
 	if len(lastPre) > 0 {
 		var first histKey
 		found := false
+		//tiscc:nondeterministic explicit min-key scan: the guard makes the selected key independent of iteration order
 		for key := range lastPre {
 			if !found || key.I < first.I || (key.I == first.I && key.J < first.J) {
 				first, found = key, true

@@ -90,6 +90,8 @@ func (sc *scratch) find(x int32) int32 {
 // unchanged; if the decoder cannot neutralize every cluster (a structurally
 // disconnected graph, which compiled memory experiments never produce), it
 // also falls back to the raw readout.
+//
+//tiscc:hotpath
 func (g *Graph) DecodeOutcome(records map[int32]bool) bool {
 	raw := g.det.RawOutcome(records)
 	if len(g.edges) == 0 {

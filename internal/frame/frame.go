@@ -240,6 +240,8 @@ func (s *Sim) NewBatch() *Batch {
 // per-shot derivation every tableau multi-shot runner uses, so batch
 // boundaries and worker counts can never shift a shot's outcome. After Run,
 // outcome and frame words are valid until the next Run. Zero allocations.
+//
+//tiscc:hotpath
 func (b *Batch) Run(first, count int, seed int64) {
 	if count < 1 || count > 64 {
 		panic("frame: batch size must be 1..64")

@@ -334,6 +334,8 @@ func branch(u, p float64, n int) int {
 // program. For a fixed schedule the shot outcome depends only on the seed.
 // RunShot is an orqcs.ShotFunc, so it plugs directly into RunShotsRange and
 // EstimateManyFunc.
+//
+//tiscc:hotpath
 func (s *Schedule) RunShot(e *orqcs.Engine, seed int64) {
 	e.BeginShot(seed)
 	tb := e.Tableau()
@@ -381,6 +383,8 @@ func FaultStreamState(shotSeed int64) uint64 { return uint64(shotSeed) ^ noiseSa
 // draws — so lane i fires exactly the faults FiredFaults reports for its
 // seed, and frame-engine shots stay bit-identical to tableau shots. It
 // returns the number of (site, lane) fault firings applied.
+//
+//tiscc:hotpath
 func (s *Schedule) SampleSlotBatch(slot int, states []uint64, fx, fz []uint64) int {
 	var raw [64]float64
 	total := 0

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"tiscc/internal/circuit"
 	"tiscc/internal/grid"
@@ -284,6 +285,24 @@ func (e *Engine) QubitAt(s grid.Site) (int, bool) { return e.prog.QubitAt(s) }
 
 // SitePauli describes a Pauli operator keyed by trapping-zone site.
 type SitePauli map[grid.Site]pauli.Kind
+
+// Sites returns the operator's support in (row, column) order. Map iteration
+// order is random, so any walk whose failure mode names a site — or whose
+// effects are otherwise order-sensitive — must range over this instead of
+// the map itself.
+func (op SitePauli) Sites() []grid.Site {
+	sites := make([]grid.Site, 0, len(op))
+	for s := range op {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].R != sites[j].R {
+			return sites[i].R < sites[j].R
+		}
+		return sites[i].C < sites[j].C
+	})
+	return sites
+}
 
 // pauliFor builds the tableau-indexed Pauli string for a site-keyed operator.
 func (e *Engine) pauliFor(op SitePauli) (*pauli.String, error) { return e.prog.PauliFor(op) }

@@ -246,7 +246,9 @@ func (p *Program) FoldedPreps() []FoldedPrep { return p.folded }
 func (p *Program) Eliminate(ops ...SitePauli) (*Program, error) {
 	live := make([]bool, p.n)
 	for _, op := range ops {
-		for s := range op {
+		// Sorted support: which missing site the error names must not
+		// depend on map iteration order.
+		for _, s := range op.Sites() {
 			q, ok := p.finalAt[s]
 			if !ok {
 				return nil, fmt.Errorf("orqcs: no ion at site %v", s)
@@ -334,12 +336,14 @@ func (p *Program) QubitAt(s grid.Site) (int, bool) {
 // against every shot.
 func (p *Program) PauliFor(op SitePauli) (*pauli.String, error) {
 	ps := pauli.NewString(p.n)
-	for s, k := range op {
+	// Sorted support: which missing site the error names must not depend on
+	// map iteration order.
+	for _, s := range op.Sites() {
 		q, ok := p.finalAt[s]
 		if !ok {
 			return nil, fmt.Errorf("orqcs: no ion at site %v", s)
 		}
-		ps.SetKind(q, k)
+		ps.SetKind(q, op[s])
 	}
 	return ps, nil
 }

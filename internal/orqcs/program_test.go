@@ -3,6 +3,7 @@ package orqcs
 import (
 	"math"
 	"sort"
+	"strings"
 	"testing"
 
 	"tiscc/internal/circuit"
@@ -637,5 +638,58 @@ func TestFuseRotationsPreservesEstimates(t *testing.T) {
 	want := 1 / math.Sqrt2
 	if math.Abs(m1-want) > 0.1 || math.Abs(m2-want) > 0.1 {
 		t.Fatalf("estimates off ideal: original %v fused %v want %v", m1, m2, want)
+	}
+}
+
+// TestSitePauliSitesSorted pins the deterministic support walk: Sites must
+// return (row, column) order regardless of map iteration order.
+func TestSitePauliSitesSorted(t *testing.T) {
+	op := SitePauli{
+		{R: 2, C: 1}: pauli.X,
+		{R: 0, C: 4}: pauli.Z,
+		{R: 0, C: 2}: pauli.Y,
+		{R: 2, C: 0}: pauli.X,
+	}
+	want := []grid.Site{{R: 0, C: 2}, {R: 0, C: 4}, {R: 2, C: 0}, {R: 2, C: 1}}
+	for i := 0; i < 32; i++ {
+		got := op.Sites()
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("iteration %d: Sites() = %v, want %v", i, got, want)
+			}
+		}
+	}
+}
+
+// TestEliminateMissingSiteErrorDeterministic checks that when an operator
+// names several empty sites, Eliminate and PauliFor always blame the
+// (row, column)-smallest one: error text must not depend on map iteration
+// order.
+func TestEliminateMissingSiteErrorDeterministic(t *testing.T) {
+	c, _ := buildDeadCode(t)
+	p, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		op := SitePauli{
+			{R: 9, C: 9}: pauli.X,
+			{R: 3, C: 7}: pauli.Z,
+			{R: 9, C: 1}: pauli.Y,
+		}
+		_, err := p.Eliminate(op)
+		if err == nil {
+			t.Fatal("expected error for operators on empty sites")
+		}
+		if want := "no ion at site 3.7"; !strings.Contains(err.Error(), want) {
+			t.Fatalf("iteration %d: Eliminate error %q does not name the smallest site (%s)", i, err, want)
+		}
+		_, err = p.PauliFor(op)
+		if err == nil {
+			t.Fatal("expected error for operators on empty sites")
+		}
+		if want := "no ion at site 3.7"; !strings.Contains(err.Error(), want) {
+			t.Fatalf("iteration %d: PauliFor error %q does not name the smallest site (%s)", i, err, want)
+		}
 	}
 }

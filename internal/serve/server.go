@@ -186,12 +186,14 @@ func NewServer(cfg Config) *Server {
 	}
 	s := &Server{met: met, logf: logf}
 	s.cache = NewCache(cfg.CacheBytes, func(k Key) (*Artifact, error) {
+		//tiscc:nondeterministic compile-latency logging: timing feeds the operator log only, never the compiled artifact bytes
 		t0 := time.Now()
 		a, err := compile(k)
 		if err != nil {
 			s.logf("compile %v failed: %v", k, err)
 			return nil, err
 		}
+		//tiscc:nondeterministic compile-latency logging: timing feeds the operator log only, never the compiled artifact bytes
 		s.logf("compile %v in %s (bundle %d bytes, crc32 %08x)", k, time.Since(t0).Round(time.Millisecond), a.BundleBytes, a.BundleCRC)
 		return a, nil
 	}, met)
@@ -259,8 +261,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	s.met.Inc(CtrRequests)
+	//tiscc:nondeterministic request-latency histogram: timing feeds telemetry only, never response payloads
 	t0 := time.Now()
 	defer func() {
+		//tiscc:nondeterministic request-latency histogram: timing feeds telemetry only, never response payloads
 		s.met.Observe(HistRequestUS, uint64(time.Since(t0).Microseconds()))
 	}()
 	if r.Method != http.MethodPost {

@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The tests in this file pin the error-selection determinism the tiscc-vet
+// determinism analyzer enforces: when several map entries are independently
+// invalid, which one an error names must not depend on map iteration order.
+// Each test repeats the check across many freshly built maps, since Go
+// randomizes iteration order per map value.
+
+// TestValidateErrorSelectionDeterministic corrupts two components of a
+// manifest point and checks Validate always blames the lexicographically
+// first one.
+func TestValidateErrorSelectionDeterministic(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		man := &Manifest{
+			SchemaVersion: ManifestSchemaVersion,
+			Tool:          "test-tool",
+			Started:       time.Now(),
+			Provenance:    NewProvenance(),
+		}
+		man.AddPoint(Point{
+			Labels: map[string]any{"d": 3},
+			Metrics: map[string]*Snapshot{
+				"zz_component": nil,
+				"aa_component": nil,
+				"mm_component": nil,
+			},
+		})
+		err := man.Validate()
+		if err == nil {
+			t.Fatal("Validate accepted null snapshots")
+		}
+		if !strings.Contains(err.Error(), `metrics["aa_component"]`) {
+			t.Fatalf("iteration %d: error names a non-first component: %v", i, err)
+		}
+	}
+}
+
+// TestSnapshotUnmarshalBadBoundDeterministic feeds a snapshot JSON whose
+// histogram has several malformed bucket bounds and checks the error always
+// names the lexicographically first one.
+func TestSnapshotUnmarshalBadBoundDeterministic(t *testing.T) {
+	blob := []byte(`{
+		"counters": {"shots": 1},
+		"histograms": {
+			"lat": {"count": 3, "sum": 6, "max": 3,
+				"buckets": {"zz-bad": 1, "aa-bad": 1, "mm-bad": 1}}
+		}
+	}`)
+	for i := 0; i < 64; i++ {
+		var s Snapshot
+		err := json.Unmarshal(blob, &s)
+		if err == nil {
+			t.Fatal("Unmarshal accepted malformed bucket bounds")
+		}
+		if !strings.Contains(err.Error(), `"aa-bad"`) {
+			t.Fatalf("iteration %d: error names a non-first bound: %v", i, err)
+		}
+	}
+}

@@ -73,7 +73,15 @@ func (s *Snapshot) UnmarshalJSON(data []byte) error {
 		hj := in.Histograms[name]
 		h := &s.Hists[i]
 		h.Count, h.Sum, h.Max = hj.Count, hj.Sum, hj.Max
-		for le, n := range hj.Buckets {
+		// Sorted bound walk: which malformed bound the error names must not
+		// depend on map iteration order.
+		les := make([]string, 0, len(hj.Buckets))
+		for le := range hj.Buckets {
+			les = append(les, le)
+		}
+		sort.Strings(les)
+		for _, le := range les {
+			n := hj.Buckets[le]
 			var upper uint64
 			if _, err := fmt.Sscanf(le, "%d", &upper); err != nil {
 				return fmt.Errorf("telemetry: histogram %q: bad bucket bound %q", name, le)

@@ -8,6 +8,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"time"
 )
 
@@ -92,8 +93,9 @@ func NewManifest(tool string) *Manifest {
 		SchemaVersion: ManifestSchemaVersion,
 		Tool:          tool,
 		Args:          os.Args[1:],
-		Started:       time.Now().UTC(),
-		Provenance:    NewProvenance(),
+		//tiscc:nondeterministic run provenance: the start stamp describes the run, it never feeds records or compiled artifacts
+		Started:    time.Now().UTC(),
+		Provenance: NewProvenance(),
 	}
 }
 
@@ -182,7 +184,15 @@ func (m *Manifest) Validate() error {
 		if len(pt.Labels) == 0 {
 			return fmt.Errorf("telemetry: point %d has no labels", i)
 		}
-		for comp, snap := range pt.Metrics {
+		// Sorted component walk: with several bad components, which one the
+		// error names must not depend on map iteration order.
+		comps := make([]string, 0, len(pt.Metrics))
+		for comp := range pt.Metrics {
+			comps = append(comps, comp)
+		}
+		sort.Strings(comps)
+		for _, comp := range comps {
+			snap := pt.Metrics[comp]
 			if snap == nil {
 				return fmt.Errorf("telemetry: point %d metrics[%q] is null", i, comp)
 			}
@@ -229,6 +239,7 @@ func (m *Manifest) SpanSecondsTotal() float64 {
 func (m *Manifest) MergedMetrics() map[string]*Snapshot {
 	out := make(map[string]*Snapshot)
 	for _, pt := range m.Points {
+		//tiscc:nondeterministic per-component accumulation: keys are independent and each component's Merge order follows the ordered Points slice
 		for comp, snap := range pt.Metrics {
 			if snap == nil {
 				continue

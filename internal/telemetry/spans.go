@@ -23,9 +23,13 @@ type Spans struct {
 }
 
 // NewSpans starts a collector; its origin is the moment of the call.
+//
+//tiscc:nondeterministic spans ARE wall-clock telemetry by design; they feed manifests, never records or artifacts
 func NewSpans() *Spans { return &Spans{t0: time.Now()} }
 
 // Start begins a span and returns the function that completes it.
+//
+//tiscc:nondeterministic spans ARE wall-clock telemetry by design; they feed manifests, never records or artifacts
 func (sp *Spans) Start(name string) func() {
 	start := time.Now()
 	return func() {
@@ -50,6 +54,8 @@ func (sp *Spans) Spans() []Span {
 }
 
 // WallSeconds is the elapsed wall-clock time since the collector started.
+//
+//tiscc:nondeterministic spans ARE wall-clock telemetry by design; they feed manifests, never records or artifacts
 func (sp *Spans) WallSeconds() float64 {
 	return time.Since(sp.t0).Seconds()
 }

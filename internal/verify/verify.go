@@ -366,6 +366,7 @@ func MemoryExperiment(d, rounds int, basis pauli.Kind) (*Memory, error) {
 		outcome = outcome.XorConst(true)
 	}
 	covered := 0
+	//tiscc:nondeterministic expr.Xor keeps a sorted, canonical record-ID set, so the folded outcome is iteration-order independent
 	for cell, rec := range recs {
 		if lv.Rep.Kind(c.Qubit(cell)) != pauli.I {
 			outcome = outcome.Xor(expr.FromID(rec))
@@ -568,6 +569,7 @@ func SurgeryExperiment(d, pre, merge, post int, basis pauli.Kind) (*Surgery, err
 		outcome = outcome.XorConst(true)
 	}
 	covered := 0
+	//tiscc:nondeterministic expr.Xor keeps a sorted, canonical record-ID set, so the folded outcome is iteration-order independent
 	for cell, rec := range s.DataRecords {
 		if lv.Rep.Kind(c.Qubit(cell)) != pauli.I {
 			outcome = outcome.Xor(expr.FromID(rec))
@@ -628,6 +630,7 @@ func Quiescence(d, rounds int, seed int64) error {
 	recs := eng.Records()
 	first := results[0]
 	for _, later := range results[1:] {
+		//tiscc:nondeterministic existential harness check: any changed plaquette is the same fatal mismatch, and no artifact depends on which face is reported
 		for face, rec := range first.Records {
 			if recs[rec] != recs[later.Records[face]] {
 				return fmt.Errorf("verify: plaquette %v outcome changed between rounds", face)
